@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out:
+ *
+ *  - pre-aggregation window k (fixed 2/4/8/16 vs adaptive vs off);
+ *  - lazy vs hardware-charged pre-aggregation accounting;
+ *  - maximum island size cmax;
+ *  - threshold decay schedule;
+ *  - locator parallel factors P1/P2;
+ *  - ring in-network reduction on/off;
+ *  - PE count at a fixed MAC budget.
+ */
+
+#include "bench_common.hpp"
+
+#include "accel/report.hpp"
+#include "core/redundancy.hpp"
+#include "gcn/models.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+int
+main()
+{
+    banner("Ablations", "Design-choice sweeps on Cora and Pubmed");
+
+    for (Dataset d : {Dataset::Cora, Dataset::Pubmed}) {
+        const DatasetBundle &b = bundleFor(d);
+        std::printf("=== %s ===\n", b.data.info.name.c_str());
+
+        // --- k sweep -------------------------------------------------
+        std::printf("[pre-aggregation window k]\n");
+        TextTable ktab({"k", "agg pruning %", "preagg ops",
+                        "subtract-mode windows"});
+        for (int k : {0, 2, 4, 8, 16}) {
+            RedundancyConfig cfg;
+            cfg.adaptiveK = false;
+            cfg.k = k;
+            PruningReport r = countPruning(b.data.graph, b.islands,
+                                           cfg);
+            ktab.addRow({k == 0 ? "off" : std::to_string(k),
+                         formatEng(100 * r.aggPruningRate(), 3),
+                         std::to_string(r.islandOps.preaggOps),
+                         std::to_string(
+                             r.islandOps.windowsSubtractMode)});
+        }
+        {
+            RedundancyConfig cfg; // adaptive
+            PruningReport r = countPruning(b.data.graph, b.islands,
+                                           cfg);
+            ktab.addRow({"adaptive", formatEng(
+                             100 * r.aggPruningRate(), 3),
+                         std::to_string(r.islandOps.preaggOps),
+                         std::to_string(
+                             r.islandOps.windowsSubtractMode)});
+            RedundancyConfig lazy;
+            lazy.lazyPreagg = true;
+            PruningReport rl = countPruning(b.data.graph, b.islands,
+                                            lazy);
+            ktab.addRow({"adaptive+lazy-preagg",
+                         formatEng(100 * rl.aggPruningRate(), 3),
+                         std::to_string(rl.islandOps.preaggOps),
+                         std::to_string(
+                             rl.islandOps.windowsSubtractMode)});
+        }
+        std::printf("%s\n", ktab.toString().c_str());
+
+        // --- cmax and decay sweeps ----------------------------------
+        std::printf("[locator: cmax x decay]\n");
+        TextTable ltab({"cmax", "decay", "rounds", "hubs", "islands",
+                        "agg pruning %", "wasted scans %"});
+        for (NodeId cmax : {16u, 32u, 64u, 128u}) {
+            for (double decay : {0.5, 0.6, 0.75}) {
+                LocatorConfig lcfg;
+                lcfg.maxIslandSize = cmax;
+                lcfg.decay = decay;
+                auto isl = islandize(b.data.graph, lcfg);
+                PruningReport r =
+                    countPruning(b.data.graph, isl, {});
+                ltab.addRow({
+                    std::to_string(cmax), formatEng(decay, 2),
+                    std::to_string(isl.numRounds),
+                    std::to_string(isl.numHubs()),
+                    std::to_string(isl.islands.size()),
+                    formatEng(100 * r.aggPruningRate(), 3),
+                    formatEng(100.0 * isl.stats.edgesScannedWasted /
+                                  std::max<uint64_t>(
+                                      1, isl.stats.edgesScanned), 3),
+                });
+            }
+        }
+        std::printf("%s\n", ltab.toString().c_str());
+
+        // --- hardware sweeps ----------------------------------------
+        std::printf("[hardware: P2 engines, PEs, ring reduction]\n");
+        ModelConfig mc =
+            modelConfig(Model::GCN, NetConfig::Algo, b.data.info);
+        TextTable htab({"config", "latency us", "utilization"});
+        for (int p2 : {16, 64, 256}) {
+            HwConfig hw;
+            hw.locator.p2 = p2;
+            RunResult r = simulateIgcn(b.data, mc, hw, &b.islands);
+            htab.addRow({"P2=" + std::to_string(p2),
+                         formatEng(r.latencyUs, 4),
+                         formatEng(r.utilization, 3)});
+        }
+        for (int pes : {4, 16, 64}) {
+            HwConfig hw;
+            hw.numPes = pes;
+            RunResult r = simulateIgcn(b.data, mc, hw, &b.islands);
+            htab.addRow({"PEs=" + std::to_string(pes),
+                         formatEng(r.latencyUs, 4),
+                         formatEng(r.utilization, 3)});
+        }
+        for (bool ring : {true, false}) {
+            HwConfig hw;
+            hw.ringReduction = ring;
+            RunResult r = simulateIgcn(b.data, mc, hw, &b.islands);
+            htab.addRow({std::string("ring-reduction=") +
+                             (ring ? "on" : "off"),
+                         formatEng(r.latencyUs, 4),
+                         formatEng(r.utilization, 3)});
+        }
+        std::printf("%s\n", htab.toString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation and prints the same rows/series the paper reports,
+ * alongside the paper's published values where applicable so the
+ * shape comparison is immediate.
+ *
+ * Dataset scaling: Reddit's surrogate defaults to 0.25 scale so the
+ * full harness suite runs in minutes (the surrogate is already a
+ * scaled stand-in; see DESIGN.md section 2). Set IGCN_FULL_SCALE=1
+ * for full-size runs.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "accel/igcn_model.hpp"
+#include "core/locator.hpp"
+#include "graph/datasets.hpp"
+
+namespace igcn::bench {
+
+/** Scale policy per dataset (Reddit reduced unless IGCN_FULL_SCALE). */
+inline double
+datasetScale(Dataset d)
+{
+    const char *full = std::getenv("IGCN_FULL_SCALE");
+    if (full && full[0] == '1')
+        return 1.0;
+    switch (d) {
+      case Dataset::Reddit: return 0.25;
+      case Dataset::Nell: return 1.0;
+      default: return 1.0;
+    }
+}
+
+/** Per-process cache: dataset builds and islandizations are reused. */
+struct DatasetBundle
+{
+    DatasetGraph data;
+    IslandizationResult islands;
+};
+
+inline const DatasetBundle &
+bundleFor(Dataset d)
+{
+    static std::map<Dataset, DatasetBundle> cache;
+    auto it = cache.find(d);
+    if (it == cache.end()) {
+        DatasetBundle bundle;
+        bundle.data = buildDataset(d, datasetScale(d));
+        bundle.islands = islandize(bundle.data.graph, LocatorConfig{});
+        it = cache.emplace(d, std::move(bundle)).first;
+    }
+    return it->second;
+}
+
+/** Banner used by every harness. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("I-GCN reproduction — %s\n%s\n", experiment,
+                description);
+    std::printf("==============================================="
+                "=================\n\n");
+}
+
+} // namespace igcn::bench

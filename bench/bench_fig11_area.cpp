@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 11 reproduction: hardware consumption breakdown of I-GCN
+ * with 4K MACs and 64 TP-BFS engines, ALM-normalized.
+ * Paper: Island Locator 34% of the accelerator, Consumer 66%.
+ */
+
+#include "bench_common.hpp"
+
+#include "accel/area.hpp"
+#include "accel/report.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+int
+main()
+{
+    banner("Figure 11",
+           "Hardware consumption breakdown (ALM-normalized)");
+
+    HwConfig hw; // 4K MACs, 64 TP-BFS engines (the paper's config)
+    AreaBreakdown bd = areaBreakdown(hw);
+
+    TextTable table({"Component", "Group", "kALMs", "Share%"});
+    for (const AreaEntry &e : bd.entries) {
+        table.addRow({e.component, e.group,
+                      formatEng(e.alms / 1000.0, 4),
+                      formatEng(100.0 * e.alms / bd.totalAlms(), 3)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    std::printf("Total: %.0f kALMs\n", bd.totalAlms() / 1000.0);
+    std::printf("Island Locator : %.1f%% (paper: 34%%)\n",
+                100.0 * bd.groupShare("Locator"));
+    std::printf("Island Consumer: %.1f%% (paper: 66%%)\n",
+                100.0 * bd.groupShare("Consumer"));
+
+    // Scaling study: how the split moves with the design knobs.
+    std::printf("\nScaling with configuration:\n");
+    TextTable scale({"MACs", "TP-BFS engines", "Locator%",
+                     "Consumer%"});
+    for (int macs : {2048, 4096, 8192}) {
+        for (int engines : {32, 64, 128}) {
+            HwConfig cfg;
+            cfg.numMacs = macs;
+            cfg.locator.p2 = engines;
+            AreaBreakdown sbd = areaBreakdown(cfg);
+            scale.addRow({std::to_string(macs),
+                          std::to_string(engines),
+                          formatEng(100 * sbd.groupShare("Locator"), 3),
+                          formatEng(100 * sbd.groupShare("Consumer"),
+                                    3)});
+        }
+    }
+    std::printf("%s", scale.toString().c_str());
+    return 0;
+}

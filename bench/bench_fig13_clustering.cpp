@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 13 reproduction: non-zero clustering effect of islandization
+ * vs the six lightweight reordering algorithms.
+ *
+ * The paper shows adjacency plots: islandization pushes every
+ * non-zero into L-shapes + the anti-diagonal, while the reorderings
+ * leave many outliers needing special handling. We quantify with the
+ * clustering metrics (diagonal-band fraction, normalized spread,
+ * dense-cell concentration, structural outliers) and render density
+ * plots for Cora.
+ */
+
+#include "bench_common.hpp"
+
+#include <numeric>
+
+#include "accel/report.hpp"
+#include "core/permute.hpp"
+#include "graph/io.hpp"
+#include "reorder/metrics.hpp"
+#include "reorder/reorder.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+int
+main()
+{
+    banner("Figure 13",
+           "Non-zero clustering: islandization vs reordering");
+
+    for (Dataset d : {Dataset::Cora, Dataset::Pubmed, Dataset::Nell}) {
+        const DatasetBundle &b = bundleFor(d);
+        std::printf("--- %s ---\n", b.data.info.name.c_str());
+        TextTable table({"Scheme", "Band@5%", "NormSpread",
+                         "NNZ in top-5% cells", "Structural outliers"});
+
+        auto add_row = [&](const std::string &name,
+                           const std::vector<NodeId> &perm,
+                           const std::string &outliers) {
+            ClusteringMetrics m = clusteringMetrics(b.data.graph, perm);
+            table.addRow({name, formatEng(m.bandFraction, 3),
+                          formatEng(m.normalizedSpread, 3),
+                          formatEng(m.nnzInDenseCells, 3), outliers});
+        };
+
+        std::vector<NodeId> identity(b.data.numNodes());
+        std::iota(identity.begin(), identity.end(), 0);
+        add_row("original order", identity, "-");
+
+        ClusterCoverage cov = classifyCoverage(b.data.graph, b.islands);
+        add_row("I-GCN islandization",
+                islandizationOrder(b.islands),
+                formatEng(100.0 * cov.outliers /
+                              std::max<EdgeId>(1, cov.total), 3) + "%");
+
+        for (ReorderAlgo algo : kAllReorderAlgos) {
+            ReorderResult rr = reorderGraph(b.data.graph, algo);
+            add_row(reorderAlgoName(algo), rr.perm, "n/a (no island"
+                    " structure)");
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+
+    // Density plots: islandization vs the best lightweight order.
+    const DatasetBundle &cora = bundleFor(Dataset::Cora);
+    constexpr int kGrid = 48;
+    auto isl_grid = renderDensityGrid(
+        cora.data.graph, islandizationOrder(cora.islands), kGrid);
+    auto rabbit = reorderGraph(cora.data.graph, ReorderAlgo::Rabbit);
+    auto rabbit_grid =
+        renderDensityGrid(cora.data.graph, rabbit.perm, kGrid);
+    std::printf("Cora, I-GCN islandization order:\n%s\n",
+                asciiDensityPlot(isl_grid, kGrid).c_str());
+    std::printf("Cora, rabbit order (best lightweight baseline):\n%s\n",
+                asciiDensityPlot(rabbit_grid, kGrid).c_str());
+    savePgm(isl_grid, kGrid, kGrid, "fig13_cora_islandization.pgm");
+    savePgm(rabbit_grid, kGrid, kGrid, "fig13_cora_rabbit.pgm");
+    std::printf("Wrote fig13_cora_islandization.pgm / "
+                "fig13_cora_rabbit.pgm\n\n");
+    std::printf("Paper finding: islandization leaves zero outlying "
+                "non-zeros (structural guarantee); every lightweight "
+                "reordering leaves scattered non-zeros that need "
+                "special handling.\n");
+    return 0;
+}

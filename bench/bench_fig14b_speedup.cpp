@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 14(B) reproduction: end-to-end inference speedup of I-GCN
+ * over CPUs (PyG/DGL), GPUs (PyG/DGL), SIGMA, HyGCN and AWB-GCN, for
+ * every model configuration the paper evaluates (GCN/GraphSage in
+ * algo and Hy configurations, GIN).
+ *
+ * Paper headline: speedups of 9568x (PyG-CPU), 1243x (DGL-CPU), 368x
+ * (PyG-GPUs), 453x (DGL-V100), 16x (SIGMA), 5.7x (GNN accelerators).
+ */
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "accel/awbgcn_model.hpp"
+#include "accel/hygcn_model.hpp"
+#include "accel/platform_models.hpp"
+#include "accel/report.hpp"
+#include "gcn/models.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+int
+main()
+{
+    banner("Figure 14(B)",
+           "Cross-platform end-to-end speedup (I-GCN = 1.0)");
+
+    HwConfig hw;
+
+    struct GeoMean
+    {
+        double log_sum = 0.0;
+        int n = 0;
+        void add(double v) { log_sum += std::log(v); n++; }
+        double value() const { return n ? std::exp(log_sum / n) : 0; }
+    };
+    GeoMean pyg_cpu, dgl_cpu, pyg_gpu, dgl_gpu, sigma, accel;
+
+    for (NetConfig net : {NetConfig::Algo, NetConfig::Hy}) {
+        std::printf("--- GCN-%s (speedup of I-GCN over each "
+                    "platform) ---\n",
+                    net == NetConfig::Algo ? "algo" : "Hy");
+        TextTable table({"Dataset", "I-GCN us", "PyG-CPU", "DGL-CPU",
+                         "PyG-V100", "PyG-RTX8000", "DGL-V100",
+                         "SIGMA", "HyGCN", "AWB-GCN"});
+        for (Dataset d : kAllDatasets) {
+            const DatasetBundle &b = bundleFor(d);
+            ModelConfig mc = modelConfig(Model::GCN, net, b.data.info);
+
+            RunResult ig = simulateIgcn(b.data, mc, hw, &b.islands);
+            auto s = [&](const RunResult &r) {
+                return r.latencyUs / ig.latencyUs;
+            };
+            RunResult r_pyg_cpu =
+                simulateCpu(b.data, mc, Framework::PyG);
+            RunResult r_dgl_cpu =
+                simulateCpu(b.data, mc, Framework::DGL,
+                            e52683Config());
+            RunResult r_pyg_v100 =
+                simulateGpu(b.data, mc, Framework::PyG);
+            RunResult r_pyg_rtx =
+                simulateGpu(b.data, mc, Framework::PyG,
+                            rtx8000Config());
+            RunResult r_dgl_v100 =
+                simulateGpu(b.data, mc, Framework::DGL);
+            RunResult r_sigma = simulateSigma(b.data, mc);
+            RunResult r_hy = simulateHyGcn(b.data, mc);
+            RunResult r_awb = simulateAwbGcn(b.data, mc, hw);
+
+            pyg_cpu.add(s(r_pyg_cpu));
+            dgl_cpu.add(s(r_dgl_cpu));
+            pyg_gpu.add(s(r_pyg_v100));
+            pyg_gpu.add(s(r_pyg_rtx));
+            dgl_gpu.add(s(r_dgl_v100));
+            sigma.add(s(r_sigma));
+            accel.add(s(r_hy));
+            accel.add(s(r_awb));
+
+            table.addRow({
+                b.data.info.name,
+                formatEng(ig.latencyUs, 4),
+                formatEng(s(r_pyg_cpu), 3) + "x",
+                formatEng(s(r_dgl_cpu), 3) + "x",
+                formatEng(s(r_pyg_v100), 3) + "x",
+                formatEng(s(r_pyg_rtx), 3) + "x",
+                formatEng(s(r_dgl_v100), 3) + "x",
+                formatEng(s(r_sigma), 3) + "x",
+                formatEng(s(r_hy), 3) + "x",
+                formatEng(s(r_awb), 3) + "x",
+            });
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+
+    // GraphSage / GIN over the accelerator baselines.
+    std::printf("--- GraphSage and GIN (I-GCN vs AWB-GCN) ---\n");
+    TextTable extra({"Model", "Dataset", "I-GCN us", "AWB-GCN us",
+                     "Speedup"});
+    for (Model m : {Model::GraphSage, Model::GIN}) {
+        for (NetConfig net : {NetConfig::Algo, NetConfig::Hy}) {
+            if (m == Model::GIN && net == NetConfig::Hy)
+                continue; // GIN uses one configuration (HyGCN's own)
+            for (Dataset d : {Dataset::Cora, Dataset::Pubmed,
+                              Dataset::Reddit}) {
+                const DatasetBundle &b = bundleFor(d);
+                ModelConfig mc = modelConfig(m, net, b.data.info);
+                RunResult ig =
+                    simulateIgcn(b.data, mc, hw, &b.islands);
+                RunResult awb = simulateAwbGcn(b.data, mc, hw);
+                extra.addRow({mc.name, b.data.info.name,
+                              formatEng(ig.latencyUs, 4),
+                              formatEng(awb.latencyUs, 4),
+                              formatEng(awb.latencyUs / ig.latencyUs,
+                                        3) + "x"});
+            }
+        }
+    }
+    std::printf("%s\n", extra.toString().c_str());
+
+    std::printf("Geometric-mean speedups (paper values in parens):\n");
+    std::printf("  over PyG-CPU : %8.0fx  (9568x)\n", pyg_cpu.value());
+    std::printf("  over DGL-CPU : %8.0fx  (1243x)\n", dgl_cpu.value());
+    std::printf("  over PyG-GPU : %8.1fx  (368x)\n", pyg_gpu.value());
+    std::printf("  over DGL-GPU : %8.1fx  (453x)\n", dgl_gpu.value());
+    std::printf("  over SIGMA   : %8.1fx  (16x)\n", sigma.value());
+    std::printf("  over GNN accelerators (HyGCN+AWB-GCN): %.1fx "
+                "(5.7x)\n", accel.value());
+    return 0;
+}

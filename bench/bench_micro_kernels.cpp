@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the library's hot kernels:
+ * SpMM dataflows, islandization, island bitmap construction, window
+ * op counting, and the island-based aggregation itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/consumer.hpp"
+#include "core/locator.hpp"
+#include "core/redundancy.hpp"
+#include "graph/generators.hpp"
+#include "spmm/spmm.hpp"
+
+namespace igcn {
+namespace {
+
+const CsrGraph &
+benchGraph()
+{
+    static const CsrGraph g = hubAndIslandGraph(
+        {.numNodes = 20000, .seed = 42}).graph;
+    return g;
+}
+
+const IslandizationResult &
+benchIslands()
+{
+    static const IslandizationResult isl = islandize(benchGraph());
+    return isl;
+}
+
+void
+BM_SpmmPullRowWise(benchmark::State &state)
+{
+    CsrMatrix a = CsrMatrix::fromGraph(benchGraph());
+    Rng rng(1);
+    DenseMatrix b(benchGraph().numNodes(),
+                  static_cast<size_t>(state.range(0)));
+    b.fillRandom(rng);
+    for (auto _ : state) {
+        DenseMatrix c = spmmPullRowWise(a, b, nullptr);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz() *
+                            state.range(0));
+}
+BENCHMARK(BM_SpmmPullRowWise)->Arg(16)->Arg(64);
+
+void
+BM_SpmmPushOuterProduct(benchmark::State &state)
+{
+    CsrMatrix a = CsrMatrix::fromGraph(benchGraph());
+    Rng rng(1);
+    DenseMatrix b(benchGraph().numNodes(),
+                  static_cast<size_t>(state.range(0)));
+    b.fillRandom(rng);
+    for (auto _ : state) {
+        DenseMatrix c = spmmPushOuterProduct(a, b, nullptr);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz() *
+                            state.range(0));
+}
+BENCHMARK(BM_SpmmPushOuterProduct)->Arg(16);
+
+void
+BM_Islandize(benchmark::State &state)
+{
+    const CsrGraph &g = benchGraph();
+    for (auto _ : state) {
+        IslandizationResult isl = islandize(g);
+        benchmark::DoNotOptimize(isl.islands.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges());
+}
+BENCHMARK(BM_Islandize);
+
+void
+BM_CountPruning(benchmark::State &state)
+{
+    const CsrGraph &g = benchGraph();
+    const IslandizationResult &isl = benchIslands();
+    RedundancyConfig cfg;
+    for (auto _ : state) {
+        PruningReport r = countPruning(g, isl, cfg);
+        benchmark::DoNotOptimize(r.interHubOps);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges());
+}
+BENCHMARK(BM_CountPruning);
+
+void
+BM_AggregateViaIslands(benchmark::State &state)
+{
+    const CsrGraph &g = benchGraph();
+    const IslandizationResult &isl = benchIslands();
+    Rng rng(2);
+    DenseMatrix y(g.numNodes(), 16);
+    y.fillRandom(rng);
+    RedundancyConfig cfg;
+    for (auto _ : state) {
+        DenseMatrix z = aggregateViaIslands(g, isl, y, cfg);
+        benchmark::DoNotOptimize(z.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (g.numEdges() + g.numNodes()) * 16);
+}
+BENCHMARK(BM_AggregateViaIslands);
+
+void
+BM_BuildIslandBitmap(benchmark::State &state)
+{
+    const CsrGraph &g = benchGraph();
+    const IslandizationResult &isl = benchIslands();
+    for (auto _ : state) {
+        uint64_t bits = 0;
+        for (const Island &island : isl.islands) {
+            IslandBitmap bm = buildIslandBitmap(g, island, true);
+            bits += bm.countBits();
+        }
+        benchmark::DoNotOptimize(bits);
+    }
+    state.SetItemsProcessed(state.iterations() * isl.islands.size());
+}
+BENCHMARK(BM_BuildIslandBitmap);
+
+} // namespace
+} // namespace igcn
+
+BENCHMARK_MAIN();

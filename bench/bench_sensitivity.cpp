@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sensitivity study: how islandization degrades as community
+ * structure weakens.
+ *
+ * The paper observes that I-GCN's advantage shrinks on Reddit
+ * because it "has less significant component structures". This bench
+ * sweeps the generator's community strength from clean (1.0) to
+ * heavily rewired (0.6) at fixed size/degree and reports hub
+ * fraction, pruning rate, locator waste, and the I-GCN vs AWB-GCN
+ * speedup — quantifying the paper's qualitative remark.
+ */
+
+#include "bench_common.hpp"
+
+#include "accel/awbgcn_model.hpp"
+#include "accel/report.hpp"
+#include "core/redundancy.hpp"
+#include "gcn/models.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+int
+main()
+{
+    banner("Sensitivity",
+           "Islandization vs community strength (paper's Reddit "
+           "observation, swept)");
+
+    TextTable table({"strength", "hubs%", "islands", "agg prune%",
+                     "wasted scans%", "I-GCN us", "AWB us",
+                     "speedup"});
+
+    HwConfig hw;
+    for (double strength : {1.0, 0.95, 0.9, 0.8, 0.7, 0.6}) {
+        HubIslandParams params;
+        params.numNodes = 8000;
+        params.meanIslandSize = 8;
+        params.intraIslandProb = 0.7;
+        params.communityStrength = strength;
+        params.seed = 1234;
+        auto hi = hubAndIslandGraph(params);
+
+        auto isl = islandize(hi.graph);
+        PruningReport pruning = countPruning(hi.graph, isl, {});
+
+        DatasetGraph data;
+        data.info = {"sweep", "SW", params.numNodes,
+                     hi.graph.numEdges(), 256, 8, 0.2, strength};
+        data.graph = hi.graph;
+        data.featureNnz = static_cast<EdgeId>(
+            params.numNodes * 256 * 0.2);
+        ModelConfig mc;
+        mc.name = "GCN";
+        mc.layers = {{256, 16}, {16, 8}};
+
+        RunResult ig = simulateIgcn(data, mc, hw, &isl);
+        RunResult awb = simulateAwbGcn(data, mc, hw);
+
+        table.addRow({
+            formatEng(strength, 3),
+            formatEng(100.0 * isl.numHubs() / params.numNodes, 3),
+            std::to_string(isl.islands.size()),
+            formatEng(100.0 * pruning.aggPruningRate(), 3),
+            formatEng(100.0 * isl.stats.edgesScannedWasted /
+                          std::max<uint64_t>(
+                              1, isl.stats.edgesScanned), 3),
+            formatEng(ig.latencyUs, 4),
+            formatEng(awb.latencyUs, 4),
+            formatEng(awb.latencyUs / ig.latencyUs, 3) + "x",
+        });
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("As rewiring destroys communities, more nodes are "
+                "promoted to hubs, pruning opportunity falls, and the "
+                "I-GCN advantage narrows — exactly the paper's "
+                "explanation for Reddit's smaller speedup.\n");
+    return 0;
+}

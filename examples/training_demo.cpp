@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Training through islands (extension): fits a 2-layer GCN to
+ * teacher-generated targets with both forward and backward
+ * aggregation running through the Island Consumer, demonstrating
+ * that shared-neighbor redundancy removal accelerates *training* as
+ * well as inference (the GraphACT use case, without GraphACT's
+ * offline preprocessing).
+ */
+
+#include <cstdio>
+
+#include "gcn/training.hpp"
+#include "graph/generators.hpp"
+
+using namespace igcn;
+
+int
+main()
+{
+    HubIslandParams params;
+    params.numNodes = 1000;
+    params.intraIslandProb = 0.7;
+    params.seed = 77;
+    auto hi = hubAndIslandGraph(params);
+    const CsrGraph &g = hi.graph;
+    IslandizationResult islands = islandize(g);
+    std::printf("graph: %u nodes, %llu edges; %zu islands, %u hubs\n",
+                g.numNodes(),
+                static_cast<unsigned long long>(g.numEdges()),
+                islands.islands.size(), islands.numHubs());
+
+    Rng rng(5);
+    Features x = makeFeatures(g.numNodes(), 16, 0.3, rng);
+    ModelConfig mc;
+    mc.layers = {{16, 12}, {12, 4}};
+    auto student = makeWeights(mc, rng);
+    Rng teacher_rng(1234);
+    auto teacher = makeWeights(mc, teacher_rng);
+    DenseMatrix target =
+        trainingForward(g, islands, x, teacher).output;
+
+    std::printf("\nepoch   loss        agg ops (fwd+bwd)   pruned\n");
+    AggOpStats total_ops;
+    for (int epoch = 0; epoch <= 60; ++epoch) {
+        ForwardCache cache = trainingForward(g, islands, x, student);
+        DenseMatrix grad_out;
+        double loss = mseLoss(cache.output, target, &grad_out);
+        Gradients grads = trainingBackward(g, islands, x, student,
+                                           cache, grad_out);
+        total_ops += grads.backwardAggOps;
+        if (epoch % 10 == 0) {
+            std::printf("%5d   %.6f    %12llu     %5.1f%%\n", epoch,
+                        loss,
+                        static_cast<unsigned long long>(
+                            grads.backwardAggOps.baselineOps),
+                        100.0 * (1.0 -
+                                 static_cast<double>(
+                                     grads.backwardAggOps
+                                         .optimizedOps()) /
+                                     grads.backwardAggOps.baselineOps));
+        }
+        sgdStep(student, grads, 4.0f);
+    }
+
+    std::printf("\nBackward aggregation reuses the same islands and "
+                "pre-aggregated sums as the forward pass (A_hat is "
+                "symmetric), so training gets the same %.0f%%-class "
+                "op pruning — with zero preprocessing, unlike "
+                "GraphACT's offline matching.\n",
+                100.0 * (1.0 - static_cast<double>(
+                    total_ops.optimizedOps()) / total_ops.baselineOps));
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "accel/area.hpp"
+
+namespace igcn {
+
+double
+AreaBreakdown::totalAlms() const
+{
+    double total = 0.0;
+    for (const AreaEntry &e : entries)
+        total += e.alms;
+    return total;
+}
+
+double
+AreaBreakdown::groupAlms(const std::string &group) const
+{
+    double total = 0.0;
+    for (const AreaEntry &e : entries)
+        if (e.group == group)
+            total += e.alms;
+    return total;
+}
+
+double
+AreaBreakdown::groupShare(const std::string &group) const
+{
+    double total = totalAlms();
+    return total > 0.0 ? groupAlms(group) / total : 0.0;
+}
+
+AreaBreakdown
+areaBreakdown(const HwConfig &hw)
+{
+    // Per-instance ALM costs (DSPs and M20Ks normalized to ALMs).
+    constexpr double kAlmsPerMac = 95.0;        // fp32 MAC, DSP-mapped
+    constexpr double kAlmsPerBfsEngine = 3100.0;// FSM + LVT + counters
+    constexpr double kAlmsPerDegreeFifo = 520.0;// loop-back FIFO lane
+    constexpr double kAlmsPerIslandFilter = 340.0;
+    constexpr double kAlmsTaskGenerator = 14000.0;
+    constexpr double kAlmsIntTables = 30000.0;  // PR-INT + CR-INT
+    constexpr double kAlmsTaskQueues = 180.0;   // per BFS engine queue
+    constexpr double kAlmsHubLocatorCtl = 9000.0;
+    constexpr double kAlmsPerPeControl = 5200.0;
+    constexpr double kAlmsPerDhubBank = 3400.0; // partial-result cache
+    constexpr double kAlmsPerRingSwitch = 2100.0;
+    constexpr double kAlmsIslandCollector = 21000.0;
+    constexpr double kAlmsHubXwCache = 16000.0;
+    constexpr double kAlmsWeightBuffers = 600.0; // per PE
+    constexpr double kAlmsScanWindows = 1400.0;  // per PE CASE/sched
+
+    AreaBreakdown bd;
+    const int p1 = hw.locator.p1;
+    const int p2 = hw.locator.p2;
+
+    // --- Island Locator -------------------------------------------
+    bd.entries.push_back({"Node Degree Buffers (P1 FIFOs)", "Locator",
+                          kAlmsPerDegreeFifo * p1});
+    bd.entries.push_back({"Island Node Filters + Comparators", "Locator",
+                          kAlmsPerIslandFilter * p1});
+    bd.entries.push_back({"Hub Locator Control", "Locator",
+                          kAlmsHubLocatorCtl});
+    bd.entries.push_back({"TP-BFS Task Generator", "Locator",
+                          kAlmsTaskGenerator});
+    bd.entries.push_back({"TP-BFS Task Queues", "Locator",
+                          kAlmsTaskQueues * p2});
+    bd.entries.push_back({"TP-BFS Engines", "Locator",
+                          kAlmsPerBfsEngine * p2});
+    bd.entries.push_back({"Island Node Tables (PR/CR-INT)", "Locator",
+                          kAlmsIntTables});
+
+    // --- Island Consumer ------------------------------------------
+    bd.entries.push_back({"MAC Arrays", "Consumer",
+                          kAlmsPerMac * hw.numMacs});
+    bd.entries.push_back({"PE Control (CASE/Scheduler)", "Consumer",
+                          (kAlmsPerPeControl + kAlmsScanWindows +
+                           kAlmsWeightBuffers) * hw.numPes});
+    bd.entries.push_back({"DHUB Partial Result Cache", "Consumer",
+                          kAlmsPerDhubBank * hw.numPes});
+    bd.entries.push_back({"Ring Network", "Consumer",
+                          kAlmsPerRingSwitch * hw.numPes});
+    bd.entries.push_back({"Island Collector", "Consumer",
+                          kAlmsIslandCollector});
+    bd.entries.push_back({"HUB Matrix XW Cache", "Consumer",
+                          kAlmsHubXwCache});
+    return bd;
+}
+
+} // namespace igcn

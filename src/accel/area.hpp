@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ALM-normalized area model for the hardware consumption breakdown
+ * (Figure 11). Each microarchitectural component of Figure 3(B) has a
+ * per-instance cost in Adaptive Logic Modules; DSP-mapped MAC units
+ * and M20K-mapped memories are normalized to ALM equivalents, as the
+ * paper does for its breakdown. The component constants are
+ * representative Stratix-10 synthesis figures chosen so the default
+ * configuration (4K MACs, 64 TP-BFS engines) lands at the paper's
+ * 34% Locator / 66% Consumer split; the *scaling* with the
+ * configuration knobs is what the model is for.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+
+namespace igcn {
+
+/** One line of the area breakdown. */
+struct AreaEntry
+{
+    std::string component;
+    /** "Locator" or "Consumer". */
+    std::string group;
+    double alms = 0.0;
+};
+
+/** Full area breakdown for a hardware configuration. */
+struct AreaBreakdown
+{
+    std::vector<AreaEntry> entries;
+
+    double totalAlms() const;
+    double groupAlms(const std::string &group) const;
+    /** Fraction of total area in a group. */
+    double groupShare(const std::string &group) const;
+};
+
+/** Compute the breakdown for a configuration. */
+AreaBreakdown areaBreakdown(const HwConfig &hw);
+
+} // namespace igcn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware configuration of the modeled accelerators.
+ *
+ * Defaults follow the paper's evaluation setup (Section 4.6,
+ * "Fairness of evaluation"): 4096 single-precision MACs at 330 MHz on
+ * a Stratix 10 SX-class device, the same budget as AWB-GCN, with 64
+ * TP-BFS engines (Section 4.4's breakdown configuration).
+ */
+
+#pragma once
+
+#include "core/locator.hpp"
+#include "core/redundancy.hpp"
+#include "sim/dram.hpp"
+
+namespace igcn {
+
+/** Common hardware parameters of the modeled FPGA accelerators. */
+struct HwConfig
+{
+    /** Total MAC units (shared by combination and aggregation). */
+    int numMacs = 4096;
+    /** Core clock in MHz. */
+    double clockMHz = 330.0;
+    /** Island Consumer processing elements; each owns numMacs/numPes
+     *  MAC lanes, one DHUB-PRC bank, and one ring-network port. */
+    int numPes = 16;
+    /** On-chip SRAM budget in MiB (feature/partial-result buffers). */
+    double sramMB = 32.0;
+    /** Off-chip memory model. */
+    DramConfig dram{};
+    /** Island Locator parameters (P1/P2 live here). */
+    LocatorConfig locator{};
+    /** Redundancy-removal configuration of the Island Consumer. */
+    RedundancyConfig redundancy{};
+    /**
+     * If true (paper's latency setup), operand matrices that fit in
+     * SRAM are preloaded and only capacity misses go off-chip; the
+     * off-chip *accounting* of Figure 14(A) instead assumes
+     * everything starts off-chip, which the traffic model reports
+     * separately.
+     */
+    bool preloadOnChip = true;
+    /** Enable the ring network's in-network reduction of hub updates. */
+    bool ringReduction = true;
+
+    /** MAC lanes per PE. */
+    int macsPerPe() const { return numMacs / numPes; }
+
+    /** Convert cycles to microseconds at the configured clock. */
+    double
+    cyclesToUs(double cycles) const
+    {
+        return cycles / clockMHz; // cycles / (MHz) == us
+    }
+};
+
+} // namespace igcn

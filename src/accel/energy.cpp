@@ -1,0 +1,22 @@
+#include "accel/energy.hpp"
+
+namespace igcn {
+
+void
+fillEnergy(RunResult &result, const HwConfig &hw, double ops,
+           double dram_bytes, const EnergyConfig &cfg)
+{
+    const double latency_s = result.latencyUs * 1e-6;
+    // Every op reads two operands and writes one result on chip;
+    // 12 bytes of SRAM movement per op is the standard estimate.
+    const double sram_bytes = ops * 12.0;
+    const double dynamic_j = ops * cfg.macPJ * 1e-12 +
+        sram_bytes * cfg.sramPJPerByte * 1e-12 +
+        dram_bytes * cfg.dramPJPerByte * 1e-12;
+    const double static_j = cfg.staticWatts * latency_s;
+    const double total_j = dynamic_j + static_j;
+    result.energyUJ = total_j * 1e6;
+    result.graphsPerKJ = total_j > 0.0 ? 1.0 / (total_j / 1e3) : 0.0;
+}
+
+} // namespace igcn

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Energy model producing Table 2's Energy Efficiency (Graph/kJ).
+ *
+ * Per-inference energy is static power times latency plus dynamic
+ * per-op and per-byte components. The constants are representative
+ * 14 nm FPGA figures (MAC energy from DSP datapoints, DRAM energy
+ * per byte from DDR4 studies); absolute EE therefore tracks the
+ * paper's order of magnitude while ratios between platforms follow
+ * from the latency/traffic differences the simulator measures.
+ */
+
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/report.hpp"
+
+namespace igcn {
+
+/** Energy model constants. */
+struct EnergyConfig
+{
+    /** Static + clocking power of the FPGA fabric, watts. */
+    double staticWatts = 9.0;
+    /** Energy per fp32 MAC, picojoules. */
+    double macPJ = 4.5;
+    /** On-chip SRAM energy per byte touched, picojoules. */
+    double sramPJPerByte = 0.6;
+    /** Off-chip DRAM energy per byte, picojoules. */
+    double dramPJPerByte = 42.0;
+};
+
+/**
+ * Fill result.energyUJ and result.graphsPerKJ from ops/traffic and
+ * the already-computed latency.
+ */
+void fillEnergy(RunResult &result, const HwConfig &hw, double ops,
+                double dram_bytes, const EnergyConfig &cfg = {});
+
+} // namespace igcn

@@ -1,0 +1,102 @@
+#include "accel/hygcn_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/energy.hpp"
+
+namespace igcn {
+
+RunResult
+simulateHyGcn(const DatasetGraph &data, const ModelConfig &model,
+              const HyGcnConfig &cfg)
+{
+    Workload wl = buildWorkload(data, model);
+    const double bytes_per_cycle =
+        cfg.hbmGBps * 1e9 / (cfg.clockMHz * 1e6);
+
+    double total_cycles = 0.0;
+    double offchip = wl.adjacencyBytes;
+    uint64_t total_ops = 0;
+
+    // HyGCN computes aggregation first: A * X, then (A X) * W. For
+    // feature-rich layers this multiplies the aggregation work by
+    // inChannels instead of outChannels — the reason combination-first
+    // designs (AWB-GCN, I-GCN) need fewer operations (Section 2.2.1).
+    // HyGCN treats the feature matrix as dense (its window-based
+    // sparsity elimination targets A's sparsity, not X's): on NELL's
+    // 61278-wide nearly-empty features this is catastrophic — the
+    // very observation that motivated AWB-GCN's sparse-aware design.
+    // The elimination factor removes the fraction of wasted edge work
+    // the shrinking windows recover.
+    for (size_t l = 0; l < wl.layers.size(); ++l) {
+        const LayerWork &lw = wl.layers[l];
+        const auto agg_ops = static_cast<uint64_t>(
+            static_cast<double>(wl.adjacencyNnzWithSelf) *
+            lw.inChannels * (1.0 - cfg.sparsityElimination));
+        const auto comb_ops = static_cast<uint64_t>(
+            static_cast<double>(wl.numNodes) * lw.inChannels *
+            lw.outChannels);
+        total_ops += agg_ops + comb_ops;
+
+        // HyGCN has no runtime workload rebalancing (AWB-GCN's whole
+        // contribution): power-law degree skew stalls the SIMD groups
+        // assigned to heavy rows while light rows drain. The penalty
+        // grows with max/mean degree up to the group count.
+        const double skew_penalty = std::clamp(
+            static_cast<double>(data.graph.maxDegree()) /
+                (std::max(1.0, data.graph.avgDegree()) * 64.0),
+            1.0, 12.0);
+        const double agg_cycles = agg_ops * skew_penalty /
+            (cfg.numMacs * cfg.aggregationEfficiency);
+        const double comb_cycles =
+            static_cast<double>(comb_ops) / cfg.numMacs;
+
+        // Pull-order feature fetches: every non-zero pulls a feature
+        // row; rows hit on chip with probability cache_rows / N.
+        const double row_bytes = lw.inChannels * 4.0;
+        const double cache_rows =
+            cfg.featureCacheMB * 1024.0 * 1024.0 / row_bytes;
+        const double miss_rate = std::max(
+            0.0, 1.0 - cache_rows / static_cast<double>(wl.numNodes));
+        double feature_bytes = static_cast<double>(
+            wl.adjacencyNnzWithSelf) * row_bytes * miss_rate *
+            (1.0 - cfg.sparsityElimination);
+        // Compulsory traffic: features in (HyGCN stores X densely),
+        // adjacency in, outputs out.
+        const double dense_input_bytes =
+            static_cast<double>(wl.numNodes) * lw.inChannels * 4.0;
+        feature_bytes += dense_input_bytes + lw.outputBytes;
+        offchip += feature_bytes + lw.weightBytes;
+
+        const double dram_cycles =
+            feature_bytes / (bytes_per_cycle * 0.75);
+        // Aggregation and combination engines are pipelined in HyGCN;
+        // the layer takes the slower of compute and memory.
+        total_cycles +=
+            std::max(agg_cycles + comb_cycles, dram_cycles);
+    }
+
+    RunResult result;
+    result.platform = "HyGCN";
+    result.dataset = data.info.name;
+    result.model = model.name;
+    result.latencyUs = total_cycles / cfg.clockMHz;
+    result.offchipBytes = offchip;
+    result.computeOps = static_cast<double>(total_ops);
+    result.utilization = total_ops /
+        (static_cast<double>(cfg.numMacs) *
+         std::max(1.0, total_cycles));
+    // HyGCN is an ASIC with HBM: lower static power, costlier DRAM
+    // traffic volume.
+    HwConfig hw_for_energy;
+    hw_for_energy.numMacs = cfg.numMacs;
+    hw_for_energy.clockMHz = cfg.clockMHz;
+    EnergyConfig e;
+    e.staticWatts = 6.0;
+    fillEnergy(result, hw_for_energy, static_cast<double>(total_ops),
+               offchip, e);
+    return result;
+}
+
+} // namespace igcn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Timing model of HyGCN (Yan et al., HPCA 2020): a hybrid ASIC with
+ * separate aggregation and combination engines — 4608 fixed-point
+ * MACs at 1 GHz fed by HBM (Section 4.6's fairness note). HyGCN uses
+ * PULL-based aggregation-first processing with window-based sparsity
+ * elimination; its weakness (which motivates both AWB-GCN and I-GCN)
+ * is that the dense feature matrix is re-fetched many times because
+ * pull-order accesses are scattered — hence the HBM requirement.
+ */
+
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/report.hpp"
+#include "accel/workload.hpp"
+
+namespace igcn {
+
+/** HyGCN-specific configuration (defaults from the HyGCN paper). */
+struct HyGcnConfig
+{
+    int numMacs = 4608;
+    double clockMHz = 1000.0;
+    double hbmGBps = 256.0;
+    /** On-chip buffer dedicated to feature caching (MB). */
+    double featureCacheMB = 16.0;
+    /** Fraction of redundant fetches removed by window shrinking. */
+    double sparsityElimination = 0.35;
+    /** Aggregation engine efficiency on scattered rows. */
+    double aggregationEfficiency = 0.80;
+};
+
+/** Simulate one HyGCN inference (aggregation-first order). */
+RunResult simulateHyGcn(const DatasetGraph &data, const ModelConfig &model,
+                        const HyGcnConfig &cfg = {});
+
+} // namespace igcn

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Event-driven timing model of the I-GCN accelerator.
+ *
+ * The model reproduces the architecture of Section 3 at transaction
+ * granularity:
+ *
+ *  - The Island Locator executes by rounds; within a round, hub
+ *    detection sweeps the node-degree FIFOs at P1 nodes/cycle and the
+ *    P2 TP-BFS engines scan one adjacency entry per engine-cycle.
+ *    Islands are emitted into the Island Collector as they are
+ *    discovered — the Consumer starts before islandization finishes
+ *    (the fine-grained pipelining of Section 3.1.1).
+ *  - The Island Consumer's PEs each own numMacs/numPes MAC lanes.
+ *    An island task fetches its node features (hub features are
+ *    combined once per layer and cached in the HUB Matrix XW cache),
+ *    performs combination + pre-aggregation + windowed aggregation,
+ *    and writes island outputs back; hub partials go to the DHUB-PRC
+ *    banks over the ring network (in-network reduction halves the
+ *    update traffic; disable via HwConfig::ringReduction for the
+ *    ablation).
+ *  - Inter-hub connections are evaluated as push-outer-product chunk
+ *    tasks once the hub XW cache for the layer is ready.
+ *  - DRAM is a shared bandwidth-accounted channel (sim/dram.hpp).
+ */
+
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/report.hpp"
+#include "accel/workload.hpp"
+#include "core/locator.hpp"
+
+namespace igcn {
+
+/**
+ * Simulate one I-GCN inference.
+ *
+ * @param data  dataset (graph + feature statistics)
+ * @param model GNN model configuration
+ * @param hw    hardware configuration
+ * @param isl   optional precomputed islandization (it is part of the
+ *              simulated runtime either way; passing it only avoids
+ *              recomputing the structure host-side)
+ */
+RunResult simulateIgcn(const DatasetGraph &data, const ModelConfig &model,
+                       const HwConfig &hw,
+                       const IslandizationResult *isl = nullptr);
+
+} // namespace igcn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CPU, GPU and SIGMA baselines for the cross-platform comparison
+ * (Figure 14(B)).
+ *
+ * CPU: the SpMM kernel throughput is *measured* on the host by timing
+ * our own PULL-row-wise kernel, then scaled by a framework-overhead
+ * factor representing PyG/DGL dispatch (constants documented in
+ * DESIGN.md; real frameworks spend most of the time outside the
+ * kernel on graphs this small).
+ *
+ * GPU and SIGMA: roofline models — latency is the max of the compute
+ * roof (peak FLOPs x sparse-workload utilization) and the bandwidth
+ * roof, plus fixed per-kernel launch overhead, which dominates on the
+ * small citation graphs and is why GPUs trail accelerators by 2-3
+ * orders of magnitude there.
+ */
+
+#pragma once
+
+#include "accel/report.hpp"
+#include "accel/workload.hpp"
+
+namespace igcn {
+
+/** Frameworks whose overhead profile we emulate. */
+enum class Framework { PyG, DGL };
+
+/** CPU device descriptions used in the paper. */
+struct CpuConfig
+{
+    std::string name = "E5-2680-V3";
+    /** Framework dispatch overhead multiplier over raw kernel time. */
+    double frameworkOverhead = 6.0;
+    /** Fixed per-layer framework latency in microseconds. */
+    double perLayerOverheadUs = 250.0;
+};
+
+/** GPU roofline description. */
+struct GpuConfig
+{
+    std::string name = "V100";
+    double peakTFlops = 15.7;
+    double memoryGBps = 900.0;
+    /** Achieved fraction of peak on irregular SpMM. */
+    double spmmUtilization = 0.03;
+    /** Achieved fraction of peak on dense GEMM. */
+    double gemmUtilization = 0.45;
+    /** Kernel launch + framework dispatch per kernel, microseconds. */
+    double launchOverheadUs = 40.0;
+    /** Kernels per GraphCONV layer (SpMM, GEMM, bias, activation...). */
+    int kernelsPerLayer = 6;
+};
+
+/** SIGMA-like SpMM accelerator roofline (Qin et al., HPCA 2020). */
+struct SigmaConfig
+{
+    std::string name = "SIGMA";
+    int numMacs = 16384;
+    double clockMHz = 500.0;
+    double memoryGBps = 400.0;
+    /** Utilization on GNN-style sparse x dense chains: SIGMA's
+     *  bitmap distribution network targets DNN-training sparsity
+     *  (50-90%); at graph sparsity (<0.1% dense) its flexible
+     *  interconnect cannot keep the Flex-DPE array fed. */
+    double utilization = 0.06;
+};
+
+/**
+ * Measured throughput (MAC/s) of the host CPU on a representative
+ * SpMM; memoized after the first call.
+ */
+double hostSpmmMacsPerSecond();
+
+/** CPU baseline (PyG/DGL style) latency from measured host FLOPs. */
+RunResult simulateCpu(const DatasetGraph &data, const ModelConfig &model,
+                      Framework fw, const CpuConfig &cfg = {});
+
+/** GPU roofline baseline. */
+RunResult simulateGpu(const DatasetGraph &data, const ModelConfig &model,
+                      Framework fw, const GpuConfig &cfg = {});
+
+/** SIGMA roofline baseline. */
+RunResult simulateSigma(const DatasetGraph &data,
+                        const ModelConfig &model,
+                        const SigmaConfig &cfg = {});
+
+/** Preset for the RTX8000 used alongside the V100 in the paper. */
+GpuConfig rtx8000Config();
+
+/** Preset for the second CPU (E5-2683-V3, DGL). */
+CpuConfig e52683Config();
+
+} // namespace igcn

@@ -1,0 +1,74 @@
+#include "accel/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace igcn {
+
+double
+speedupOver(const RunResult &a, const RunResult &b)
+{
+    if (a.latencyUs <= 0.0)
+        throw std::invalid_argument("non-positive latency");
+    return b.latencyUs / a.latencyUs;
+}
+
+std::string
+formatEng(double value, int precision)
+{
+    char buf[64];
+    if (value == 0.0)
+        return "0";
+    double mag = std::fabs(value);
+    if (mag >= 1e-2 && mag < 1e4) {
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*e", precision - 1, value);
+    }
+    return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headerRow.size())
+        throw std::invalid_argument("row width != header width");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> widths(headerRow.size());
+    for (size_t c = 0; c < headerRow.size(); ++c)
+        widths[c] = headerRow[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    emit(headerRow);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return out.str();
+}
+
+} // namespace igcn

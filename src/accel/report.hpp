@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Uniform result record for every platform model, plus table-printing
+ * helpers used by the benchmark harnesses to emit the paper's rows.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace igcn {
+
+/** Result of one simulated (or measured) inference. */
+struct RunResult
+{
+    std::string platform;
+    std::string dataset;
+    std::string model;
+    /** End-to-end inference latency in microseconds. */
+    double latencyUs = 0.0;
+    /** Off-chip bytes moved, assuming operands start off-chip. */
+    double offchipBytes = 0.0;
+    /** Total arithmetic operations executed. */
+    double computeOps = 0.0;
+    /** Energy per inference in microjoules. */
+    double energyUJ = 0.0;
+    /** Energy efficiency in graphs per kilojoule (Table 2's EE). */
+    double graphsPerKJ = 0.0;
+    /** Average MAC-array utilization in [0, 1]. */
+    double utilization = 0.0;
+    /** Model-specific detail counters. */
+    StatsRegistry stats;
+};
+
+/** latency(b) / latency(a): how much faster a is than b. */
+double speedupOver(const RunResult &a, const RunResult &b);
+
+/** Format helpers for the bench harness tables. */
+std::string formatEng(double value, int precision = 3);
+
+/** Simple fixed-width text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace igcn

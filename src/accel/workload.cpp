@@ -1,0 +1,130 @@
+#include "accel/workload.hpp"
+
+namespace igcn {
+
+uint64_t
+Workload::totalOpsBase() const
+{
+    uint64_t total = 0;
+    for (const LayerWork &l : layers)
+        total += l.totalOpsBase();
+    return total;
+}
+
+uint64_t
+Workload::totalOpsOptimized() const
+{
+    uint64_t total = 0;
+    for (const LayerWork &l : layers)
+        total += l.totalOpsOptimized();
+    return total;
+}
+
+double
+Workload::aggregationOpShare() const
+{
+    uint64_t agg = 0;
+    for (const LayerWork &l : layers)
+        agg += l.aggregationOpsBase;
+    uint64_t total = totalOpsBase();
+    return total == 0 ? 0.0 : static_cast<double>(agg) / total;
+}
+
+ResidencyPlan
+planResidency(const Workload &wl, double sram_bytes,
+              double budget_fraction)
+{
+    ResidencyPlan plan;
+    double budget = sram_bytes * budget_fraction;
+
+    auto try_claim = [&](uint64_t bytes, bool &flag) {
+        if (static_cast<double>(bytes) <= budget) {
+            budget -= static_cast<double>(bytes);
+            plan.residentBytes += bytes;
+            flag = true;
+        }
+    };
+
+    // Intermediate activations: the largest hidden in/out buffer pair
+    // that must ping-pong between layers.
+    uint64_t act_bytes = 0;
+    for (size_t l = 0; l + 1 < wl.layers.size(); ++l)
+        act_bytes = std::max(act_bytes, wl.layers[l].outputBytes);
+    uint64_t weight_bytes = 0;
+    for (const LayerWork &l : wl.layers)
+        weight_bytes += l.weightBytes;
+
+    try_claim(wl.adjacencyBytes, plan.adjacency);
+    try_claim(act_bytes, plan.activations);
+    try_claim(wl.layers.empty() ? 0 : wl.layers[0].inputBytes,
+              plan.features);
+    try_claim(weight_bytes, plan.weights);
+    return plan;
+}
+
+Workload
+buildWorkload(const DatasetGraph &data, const ModelConfig &model,
+              const IslandizationResult *isl, const RedundancyConfig &cfg,
+              bool preagg_in_combination)
+{
+    Workload w;
+    w.info = data.info;
+    w.model = model;
+    w.numNodes = data.numNodes();
+    w.adjacencyNnz = data.numEdges();
+    w.adjacencyNnzWithSelf = data.numEdges() + data.numNodes();
+    // CSR: 8-byte row pointers + 4-byte column ids.
+    w.adjacencyBytes = (data.numNodes() + 1) * 8 + data.numEdges() * 4;
+
+    // Aggregation structure is layer-independent: count the per-edge
+    // accumulations once and scale by each layer's channel width.
+    uint64_t agg_units_base = w.adjacencyNnzWithSelf;
+    uint64_t agg_units_opt = agg_units_base;
+    uint64_t preagg_units = 0;
+    if (isl) {
+        PruningReport report = countPruning(data.graph, *isl, cfg);
+        preagg_units = report.islandOps.preaggOps;
+        agg_units_opt = report.optimizedAggOps() -
+            (preagg_in_combination ? 0 : 0); // window + inter-hub + self
+        if (preagg_in_combination)
+            agg_units_opt -= preagg_units;
+    }
+
+    const bool first_layer_sparse = data.info.featureDensity < 0.5;
+    for (size_t l = 0; l < model.layers.size(); ++l) {
+        const LayerDims &dims = model.layers[l];
+        LayerWork lw;
+        lw.inChannels = dims.inChannels;
+        lw.outChannels = dims.outChannels;
+
+        if (l == 0) {
+            lw.inputNnz = first_layer_sparse
+                ? data.featureNnz
+                : static_cast<uint64_t>(w.numNodes) * dims.inChannels;
+            // Sparse CSR: 4-byte col id + 4-byte value per nnz, plus
+            // row pointers; dense: 4 bytes per element.
+            lw.inputBytes = first_layer_sparse
+                ? lw.inputNnz * 8 + (w.numNodes + 1) * 8
+                : lw.inputNnz * 4;
+        } else {
+            // Hidden activations are dense.
+            lw.inputNnz = static_cast<uint64_t>(w.numNodes) *
+                dims.inChannels;
+            lw.inputBytes = lw.inputNnz * 4;
+        }
+
+        lw.combinationMacs = lw.inputNnz * dims.outChannels;
+        lw.aggregationOpsBase = agg_units_base * dims.outChannels;
+        lw.aggregationOpsOptimized = agg_units_opt * dims.outChannels;
+        if (preagg_in_combination)
+            lw.combinationMacs += preagg_units * dims.outChannels;
+        lw.weightBytes = static_cast<uint64_t>(dims.inChannels) *
+            dims.outChannels * 4;
+        lw.outputBytes = static_cast<uint64_t>(w.numNodes) *
+            dims.outChannels * 4;
+        w.layers.push_back(lw);
+    }
+    return w;
+}
+
+} // namespace igcn

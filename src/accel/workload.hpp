@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Architecture-independent op and traffic accounting for a GCN
+ * inference: how many MACs each phase of each layer performs and how
+ * many bytes each matrix occupies. All platform models (I-GCN,
+ * AWB-GCN, HyGCN, CPU, GPU, SIGMA) derive their timing from this one
+ * accounting, which keeps the cross-platform comparison (Figure 14)
+ * internally consistent.
+ */
+
+#pragma once
+
+#include "core/island.hpp"
+#include "core/redundancy.hpp"
+#include "gcn/models.hpp"
+#include "graph/datasets.hpp"
+
+namespace igcn {
+
+/** Per-layer operation and size accounting. */
+struct LayerWork
+{
+    int inChannels = 0;
+    int outChannels = 0;
+    /** Non-zeros of this layer's input feature matrix. */
+    uint64_t inputNnz = 0;
+    /** MACs of the combination phase (X * W), exploiting sparse X. */
+    uint64_t combinationMacs = 0;
+    /** Aggregation vector-accumulations * channels, no pruning. */
+    uint64_t aggregationOpsBase = 0;
+    /** Same with I-GCN redundancy removal (islands required). */
+    uint64_t aggregationOpsOptimized = 0;
+    /** Input feature bytes (CSR for sparse layer-0, dense after). */
+    uint64_t inputBytes = 0;
+    /** Weight bytes. */
+    uint64_t weightBytes = 0;
+    /** Output feature bytes (always dense). */
+    uint64_t outputBytes = 0;
+
+    uint64_t
+    totalOpsBase() const
+    {
+        return combinationMacs + aggregationOpsBase;
+    }
+
+    uint64_t
+    totalOpsOptimized() const
+    {
+        return combinationMacs + aggregationOpsOptimized;
+    }
+};
+
+/** Whole-inference accounting for one (dataset, model) pair. */
+struct Workload
+{
+    DatasetInfo info;
+    ModelConfig model;
+    std::vector<LayerWork> layers;
+    /** CSR adjacency bytes (row pointers + column indices). */
+    uint64_t adjacencyBytes = 0;
+    /** nnz(A) of the graph (directed edge count). */
+    uint64_t adjacencyNnz = 0;
+    /** nnz(A_hat) = nnz(A) + N, the self-loop-augmented count. */
+    uint64_t adjacencyNnzWithSelf = 0;
+    NodeId numNodes = 0;
+
+    uint64_t totalOpsBase() const;
+    uint64_t totalOpsOptimized() const;
+    /** Fraction of baseline ops in the aggregation phase (~23% in
+     *  the paper's combination-first accounting). */
+    double aggregationOpShare() const;
+};
+
+/**
+ * SRAM residency plan: which operand classes stay on chip for the
+ * whole inference. Greedy allocation in benefit order — adjacency
+ * (touched by locator and consumer), intermediate activations (the
+ * layer ping-pong buffers), input features, weights — within a
+ * budget fraction of the configured SRAM. Non-resident operands are
+ * streamed from DRAM by the timing models.
+ */
+struct ResidencyPlan
+{
+    bool adjacency = false;
+    bool activations = false;
+    bool features = false;
+    bool weights = false;
+    uint64_t residentBytes = 0;
+};
+
+/** Compute the residency plan for a workload and SRAM budget. */
+ResidencyPlan planResidency(const Workload &wl, double sram_bytes,
+                            double budget_fraction = 0.75);
+
+/**
+ * Build the workload accounting.
+ *
+ * @param isl  optional islandization; when present, the optimized
+ *             aggregation op counts (redundancy removal) are filled
+ *             from the per-island window accounting, otherwise they
+ *             equal the baseline.
+ * @param preagg_in_combination if true (paper's accounting), the
+ *             pre-aggregation sums are charged to the combination
+ *             phase where the pipelined hardware computes them; if
+ *             false they are charged to aggregation.
+ */
+Workload buildWorkload(const DatasetGraph &data, const ModelConfig &model,
+                       const IslandizationResult *isl = nullptr,
+                       const RedundancyConfig &cfg = {},
+                       bool preagg_in_combination = true);
+
+} // namespace igcn

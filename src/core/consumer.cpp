@@ -1,0 +1,164 @@
+#include "core/consumer.hpp"
+
+#include <stdexcept>
+
+namespace igcn {
+
+namespace {
+
+/**
+ * Evaluate one island task: combination results of the local columns
+ * are rows of y; produce aggregation updates into z.
+ */
+void
+evaluateIsland(const CsrGraph &g, const Island &island,
+               const DenseMatrix &y, DenseMatrix &z,
+               const RedundancyConfig &cfg, AggOpStats *stats,
+               bool include_self_loops)
+{
+    IslandBitmap bm = buildIslandBitmap(g, island,
+                                        include_self_loops);
+    AggOpStats plan = countIslandAggOps(bm, cfg);
+    if (stats)
+        *stats += plan;
+    const int k = plan.chosenK;
+    const size_t channels = y.cols();
+    const int width = bm.width();
+
+    // Global node id per local column: island nodes first, hubs last
+    // (must mirror buildIslandBitmap's ordering).
+    std::vector<NodeId> col_node(width);
+    for (int i = 0; i < bm.numNodes; ++i)
+        col_node[i] = island.nodes[i];
+    for (int h = 0; h < bm.numHubs; ++h)
+        col_node[bm.numNodes + h] = island.hubs[h];
+
+    // Pre-aggregation: group sums of combination results, computed at
+    // the tail of the combination phase (k == 0 disables removal).
+    const int num_groups = k >= 2 ? (width + k - 1) / k : 0;
+    DenseMatrix presum(num_groups ? num_groups : 1, channels);
+    for (int grp = 0; grp < num_groups; ++grp) {
+        const int c0 = grp * k;
+        const int c1 = std::min(width, c0 + k);
+        float *dst = presum.row(grp);
+        for (int c = c0; c < c1; ++c) {
+            const float *src = y.row(col_node[c]);
+            for (size_t ch = 0; ch < channels; ++ch)
+                dst[ch] += src[ch];
+        }
+    }
+
+    // Scan every row; island-node rows produce complete outputs, hub
+    // rows produce partial sums accumulated into z (the DHUB-PRC in
+    // hardware; a plain accumulation here since each bitmap bit is
+    // visited exactly once across all tasks).
+    for (int r = 0; r < bm.height(); ++r) {
+        float *out = z.row(col_node[r]);
+        if (k < 2) {
+            for (int c = 0; c < width; ++c) {
+                if (!bm.test(r, c)) continue;
+                const float *src = y.row(col_node[c]);
+                for (size_t ch = 0; ch < channels; ++ch)
+                    out[ch] += src[ch];
+            }
+            continue;
+        }
+        for (int grp = 0; grp < num_groups; ++grp) {
+            const int c0 = grp * k;
+            const int c1 = std::min(width, c0 + k);
+            const int k_eff = c1 - c0;
+            const int zbits = bm.countBitsInWindow(r, c0, c1);
+            if (zbits == 0)
+                continue;
+            const bool subtract =
+                k_eff >= 2 && (1 + (k_eff - zbits)) < zbits;
+            if (subtract) {
+                const float *pre = presum.row(grp);
+                for (size_t ch = 0; ch < channels; ++ch)
+                    out[ch] += pre[ch];
+                for (int c = c0; c < c1; ++c) {
+                    if (bm.test(r, c)) continue;
+                    const float *src = y.row(col_node[c]);
+                    for (size_t ch = 0; ch < channels; ++ch)
+                        out[ch] -= src[ch];
+                }
+            } else {
+                for (int c = c0; c < c1; ++c) {
+                    if (!bm.test(r, c)) continue;
+                    const float *src = y.row(col_node[c]);
+                    for (size_t ch = 0; ch < channels; ++ch)
+                        out[ch] += src[ch];
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+DenseMatrix
+aggregateViaIslands(const CsrGraph &g, const IslandizationResult &isl,
+                    const DenseMatrix &y, const RedundancyConfig &cfg,
+                    AggOpStats *stats, bool include_self_loops)
+{
+    if (y.rows() != g.numNodes())
+        throw std::invalid_argument("y row count != node count");
+    DenseMatrix z(y.rows(), y.cols());
+
+    for (const Island &island : isl.islands)
+        evaluateIsland(g, island, y, z, cfg, stats,
+                       include_self_loops);
+
+    // Inter-hub tasks (push-outer-product order) plus hub self loops.
+    const size_t channels = y.cols();
+    for (const auto &[h1, h2] : isl.interHubEdges) {
+        const float *y1 = y.row(h1);
+        const float *y2 = y.row(h2);
+        float *z1 = z.row(h1);
+        float *z2 = z.row(h2);
+        for (size_t ch = 0; ch < channels; ++ch) {
+            z1[ch] += y2[ch];
+            z2[ch] += y1[ch];
+        }
+    }
+    if (include_self_loops) {
+        for (NodeId v = 0; v < g.numNodes(); ++v) {
+            if (isl.role[v] != NodeRole::Hub)
+                continue;
+            const float *src = y.row(v);
+            float *dst = z.row(v);
+            for (size_t ch = 0; ch < channels; ++ch)
+                dst[ch] += src[ch];
+        }
+    }
+    return z;
+}
+
+DenseMatrix
+gcnForwardViaIslands(const CsrGraph &g, const IslandizationResult &isl,
+                     const Features &x,
+                     const std::vector<DenseMatrix> &weights,
+                     const RedundancyConfig &cfg, AggOpStats *stats)
+{
+    if (weights.empty())
+        throw std::invalid_argument("no layers");
+    std::vector<float> s = degreeScaling(g);
+    DenseMatrix current;
+    for (size_t l = 0; l < weights.size(); ++l) {
+        DenseMatrix xw;
+        if (l == 0) {
+            xw = x.sparse ? csrTimesDense(x.csr, weights[l])
+                          : gemm(x.dense, weights[l]);
+        } else {
+            xw = gemm(current, weights[l]);
+        }
+        scaleRows(xw, s);
+        current = aggregateViaIslands(g, isl, xw, cfg, stats);
+        scaleRows(current, s);
+        if (l + 1 < weights.size())
+            reluInPlace(current);
+    }
+    return current;
+}
+
+} // namespace igcn

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Functional model of the Island Consumer (Section 3.3).
+ *
+ * Executes a GraphCONV layer at island granularity, with the same
+ * arithmetic the hardware performs: PULL-based combination, per-group
+ * pre-aggregation, 1 x k scan windows with per-window add/subtract
+ * mode selection, hub partial-result accumulation (the DHUB-PRC), and
+ * push-outer-product inter-hub tasks. The output is numerically equal
+ * (up to float reassociation) to the reference forward pass — the
+ * redundancy removal is lossless, which the test suite verifies.
+ */
+
+#pragma once
+
+#include "core/locator.hpp"
+#include "core/redundancy.hpp"
+#include "gcn/reference.hpp"
+
+namespace igcn {
+
+/**
+ * Compute Z = (A + I) * Y using islands, with redundancy removal.
+ *
+ * @param g    the graph (binary adjacency, self loops implied)
+ * @param isl  islandization of g
+ * @param y    dense input rows (already scaled by S in the GCN flow)
+ * @param cfg  redundancy-removal configuration
+ * @param stats optional accumulated op accounting
+ */
+DenseMatrix aggregateViaIslands(const CsrGraph &g,
+                                const IslandizationResult &isl,
+                                const DenseMatrix &y,
+                                const RedundancyConfig &cfg,
+                                AggOpStats *stats = nullptr,
+                                bool include_self_loops = true);
+
+/**
+ * Full multi-layer GCN forward pass executed through the Island
+ * Consumer: per layer, combination (X W), scaling, island-based
+ * aggregation with redundancy removal, scaling, activation.
+ */
+DenseMatrix gcnForwardViaIslands(const CsrGraph &g,
+                                 const IslandizationResult &isl,
+                                 const Features &x,
+                                 const std::vector<DenseMatrix> &weights,
+                                 const RedundancyConfig &cfg,
+                                 AggOpStats *stats = nullptr);
+
+} // namespace igcn

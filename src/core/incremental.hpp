@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Incremental islandization for evolving graphs (extension).
+ *
+ * The paper motivates runtime restructuring with evolving and
+ * inductive graphs (Section 1). Full re-islandization is already
+ * microsecond-scale, but most edge updates touch a tiny part of the
+ * structure: an edge *inside* one island or between two hubs leaves
+ * every invariant intact, and only cross-island / island-to-new-hub
+ * edges force work. This module dissolves exactly the invalidated
+ * islands and re-runs threshold-decayed TP-BFS over the dirty region
+ * only, preserving the full coverage invariant (tests verify the
+ * result is indistinguishable from a fresh run's postconditions).
+ */
+
+#pragma once
+
+#include <span>
+
+#include "core/locator.hpp"
+
+namespace igcn {
+
+/** Statistics of one incremental update. */
+struct IncrementalStats
+{
+    /** Edges whose coverage was already valid (no work). */
+    uint64_t edgesAbsorbed = 0;
+    /** Newly recorded inter-hub edges. */
+    uint64_t edgesInterHub = 0;
+    /** Islands dissolved by the update. */
+    uint64_t islandsDissolved = 0;
+    /** Nodes re-classified by the local re-islandization. */
+    uint64_t nodesReclassified = 0;
+    /** Adjacency entries scanned while repairing. */
+    uint64_t edgesScanned = 0;
+};
+
+/**
+ * Update an islandization after edges were added to the graph.
+ *
+ * @param new_graph  the graph *after* the update (must contain every
+ *                   edge in added, both directions)
+ * @param old_result islandization of the pre-update graph
+ * @param added      the added undirected edges (u, v)
+ * @param cfg        locator parameters for the local repair
+ * @param stats      optional update statistics
+ * @return a valid islandization of new_graph; islands not incident
+ *         to the update are preserved verbatim.
+ */
+IslandizationResult
+updateIslandization(const CsrGraph &new_graph,
+                    const IslandizationResult &old_result,
+                    std::span<const Edge> added,
+                    const LocatorConfig &cfg = {},
+                    IncrementalStats *stats = nullptr);
+
+} // namespace igcn

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Data model of islandization results.
+ *
+ * Islandization partitions the nodes of a graph into *hubs*
+ * (high-degree connectors, detected with a per-round decaying degree
+ * threshold) and *islands* (small clusters whose only external
+ * connections go through hubs). Every edge of the graph is covered
+ * exactly once by either an island's local adjacency bitmap
+ * (island-island, island-hub and self connections) or the inter-hub
+ * edge map — the invariant the Island Consumer relies on.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace igcn {
+
+/** Role assigned to each node by the Island Locator. */
+enum class NodeRole : uint8_t { Unclassified = 0, Hub = 1, IslandNode = 2 };
+
+/** One island: its member nodes and the hubs that border it. */
+struct Island
+{
+    /** Member nodes in BFS discovery order (defines local column ids). */
+    std::vector<NodeId> nodes;
+    /** Bordering hubs, sorted, unique. */
+    std::vector<NodeId> hubs;
+    /** Locator round (1-based) in which the island was found. */
+    int round = 0;
+    /** Adjacency-list entries scanned while discovering this island. */
+    EdgeId edgesScanned = 0;
+};
+
+/** Runtime counters of the Island Locator, used by the timing model. */
+struct LocatorStats
+{
+    uint64_t tasksGenerated = 0;
+    uint64_t tasksDroppedStartVisited = 0;
+    uint64_t tasksDroppedCollision = 0;
+    uint64_t tasksDroppedOversize = 0;
+    uint64_t tasksInterHub = 0;
+    uint64_t islandsFound = 0;
+    /** Nodes inspected by the hub detector, summed over rounds. */
+    uint64_t hubDetectChecks = 0;
+    /** Adjacency lists fetched from memory (task gen + BFS). */
+    uint64_t adjListFetches = 0;
+    /** Total neighbor entries scanned by all TP-BFS engines. */
+    uint64_t edgesScanned = 0;
+    /** Neighbor entries scanned by aborted tasks (wasted work). */
+    uint64_t edgesScannedWasted = 0;
+};
+
+/** Per-round execution record (drives the locator timing model). */
+struct RoundInfo
+{
+    NodeId threshold = 0;
+    /** Nodes swept by the hub detector this round. */
+    uint64_t nodesChecked = 0;
+    /** Hubs detected this round. */
+    uint64_t hubsDetected = 0;
+    /** Adjacency entries scanned by TP-BFS this round. */
+    uint64_t edgesScanned = 0;
+    /** Islands found this round. */
+    uint64_t islandsFound = 0;
+};
+
+/** Outcome of one TP-BFS task (trace record). */
+enum class TaskOutcome : uint8_t
+{
+    IslandFound = 0,
+    DroppedStartVisited = 1,
+    DroppedCollision = 2,
+    DroppedOversize = 3,
+    InterHub = 4,
+};
+
+/** One task-level trace entry (recorded when cfg.recordTrace). */
+struct TaskTrace
+{
+    uint16_t round = 0;
+    TaskOutcome outcome = TaskOutcome::IslandFound;
+    /** Adjacency entries this task scanned. */
+    uint32_t edgesScanned = 0;
+    /** Degree of the originating hub (task-generation cost). */
+    uint32_t hubDegree = 0;
+};
+
+/** Full result of islandization over a graph. */
+struct IslandizationResult
+{
+    std::vector<Island> islands;
+    /** Per-round execution record. */
+    std::vector<RoundInfo> rounds;
+    /** Task-level trace (only populated when cfg.recordTrace). */
+    std::vector<TaskTrace> taskTrace;
+    /** Role per node (never Unclassified after a successful run). */
+    std::vector<NodeRole> role;
+    /** Island index per node; kNoIsland for hubs. */
+    std::vector<uint32_t> islandOf;
+    /** Detection round per hub (1-based); 0 for non-hubs. */
+    std::vector<uint16_t> hubRound;
+    /** Unique undirected hub-hub edges, stored with first <= second. */
+    std::vector<Edge> interHubEdges;
+    /** Degree threshold used in each round (index 0 = round 1). */
+    std::vector<NodeId> thresholds;
+    int numRounds = 0;
+    LocatorStats stats;
+
+    static constexpr uint32_t kNoIsland = ~uint32_t{0};
+
+    /** Number of hub nodes. */
+    NodeId
+    numHubs() const
+    {
+        NodeId n = 0;
+        for (NodeRole r : role)
+            if (r == NodeRole::Hub)
+                n++;
+        return n;
+    }
+
+    /** Number of island nodes. */
+    NodeId
+    numIslandNodes() const
+    {
+        return static_cast<NodeId>(role.size()) - numHubs();
+    }
+};
+
+} // namespace igcn

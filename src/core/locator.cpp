@@ -1,0 +1,439 @@
+#include "core/locator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace igcn {
+
+namespace {
+
+/** Mutable state of one islandization run. */
+struct LocatorState
+{
+    const CsrGraph &g;
+    const LocatorConfig &cfg;
+    IslandizationResult out;
+
+    /** Round id in which a node was globally visited (0 = never). */
+    std::vector<uint32_t> visitedGlobalRound;
+    /** Task id that locally visited a node (0 = never). */
+    std::vector<uint64_t> visitedLocalTask;
+    uint64_t taskCounter = 0;
+
+    explicit LocatorState(const CsrGraph &graph, const LocatorConfig &c)
+        : g(graph), cfg(c)
+    {
+        const NodeId n = g.numNodes();
+        out.role.assign(n, NodeRole::Unclassified);
+        out.islandOf.assign(n, IslandizationResult::kNoIsland);
+        out.hubRound.assign(n, 0);
+        visitedGlobalRound.assign(n, 0);
+        visitedLocalTask.assign(n, 0);
+    }
+};
+
+/**
+ * TP-BFS from start node a0 (Algorithm 4). Returns true if an island
+ * was found and recorded.
+ */
+bool
+tpBfs(LocatorState &st, NodeId hub0, NodeId a0, NodeId th, uint32_t round)
+{
+    auto &out = st.out;
+    const uint64_t task_id = ++st.taskCounter;
+
+    std::vector<NodeId> v_local{a0};
+    std::vector<NodeId> h_local{hub0};
+    st.visitedLocalTask[a0] = task_id;
+    st.visitedGlobalRound[a0] = round;
+
+    size_t query = 0;
+    size_t count = 1;
+    EdgeId edges_scanned = 0;
+    bool aborted = false;
+    bool oversize = false;
+
+    while (query != count && !aborted) {
+        NodeId node = v_local[query];
+        out.stats.adjListFetches++;
+        for (NodeId n : st.g.neighbors(node)) {
+            edges_scanned++;
+            if (st.g.degree(n) >= th) {
+                // Hub (this round's threshold, or an earlier round's
+                // higher one): border node, never traversed through.
+                h_local.push_back(n);
+            } else if (st.visitedLocalTask[n] == task_id) {
+                // Already explored by this engine: skip.
+            } else if (st.visitedGlobalRound[n] == round) {
+                // Claimed by another engine this round (break cond.
+                // A): drop the task. Algorithm 4 removes v_local from
+                // v_global so an *in-flight* engine can still claim
+                // the nodes; in this sequential interleaving the
+                // colliding region is always finished, so the marks
+                // are kept (as in break condition B) and sibling
+                // tasks drop at start instead of rescanning the
+                // region. The parallel-engine mode implements the
+                // paper's rollback verbatim.
+                out.stats.tasksDroppedCollision++;
+                aborted = true;
+                break;
+            } else {
+                count++;
+                v_local.push_back(n);
+                st.visitedLocalTask[n] = task_id;
+                st.visitedGlobalRound[n] = round;
+                if (count > st.cfg.maxIslandSize) {
+                    // Break condition B: too large to be an island at
+                    // this threshold. Global marks are kept so sibling
+                    // tasks don't rescan the region this round; the
+                    // nodes stay unclassified and are retried next
+                    // round at a lower threshold.
+                    out.stats.tasksDroppedOversize++;
+                    aborted = true;
+                    oversize = true;
+                    break;
+                }
+            }
+        }
+        query++;
+    }
+
+    out.stats.edgesScanned += edges_scanned;
+    if (st.cfg.recordTrace) {
+        TaskTrace t;
+        t.round = static_cast<uint16_t>(round);
+        t.edgesScanned = static_cast<uint32_t>(edges_scanned);
+        t.hubDegree = st.g.degree(hub0);
+        t.outcome = !aborted ? TaskOutcome::IslandFound
+                  : oversize ? TaskOutcome::DroppedOversize
+                             : TaskOutcome::DroppedCollision;
+        out.taskTrace.push_back(t);
+    }
+    if (aborted) {
+        out.stats.edgesScannedWasted += edges_scanned;
+        return false;
+    }
+
+    // Break condition C: query caught up with count -> island found.
+    std::sort(h_local.begin(), h_local.end());
+    h_local.erase(std::unique(h_local.begin(), h_local.end()),
+                  h_local.end());
+
+    Island island;
+    island.nodes = std::move(v_local);
+    island.hubs = std::move(h_local);
+    island.round = static_cast<int>(round);
+    island.edgesScanned = edges_scanned;
+
+    const auto island_id = static_cast<uint32_t>(out.islands.size());
+    for (NodeId v : island.nodes) {
+        out.role[v] = NodeRole::IslandNode;
+        out.islandOf[v] = island_id;
+    }
+    out.islands.push_back(std::move(island));
+    out.stats.islandsFound++;
+    return true;
+}
+
+/** In-flight state of one TP-BFS engine (parallel mode). */
+struct BfsEngine
+{
+    bool busy = false;
+    NodeId hub0 = 0;
+    std::vector<NodeId> vLocal;
+    std::vector<NodeId> hLocal;
+    size_t query = 0;
+    size_t count = 0;
+    uint64_t taskId = 0;
+    EdgeId edgesScanned = 0;
+};
+
+/** Record the island an engine completed (break condition C). */
+void
+finishIsland(LocatorState &st, BfsEngine &e, uint32_t round)
+{
+    auto &out = st.out;
+    std::sort(e.hLocal.begin(), e.hLocal.end());
+    e.hLocal.erase(std::unique(e.hLocal.begin(), e.hLocal.end()),
+                   e.hLocal.end());
+    Island island;
+    island.nodes = std::move(e.vLocal);
+    island.hubs = std::move(e.hLocal);
+    island.round = static_cast<int>(round);
+    island.edgesScanned = e.edgesScanned;
+    const auto island_id = static_cast<uint32_t>(out.islands.size());
+    for (NodeId v : island.nodes) {
+        out.role[v] = NodeRole::IslandNode;
+        out.islandOf[v] = island_id;
+    }
+    out.islands.push_back(std::move(island));
+    out.stats.islandsFound++;
+    out.stats.edgesScanned += e.edgesScanned;
+    e.busy = false;
+}
+
+/**
+ * Advance one engine by one node expansion (the adjacency list of
+ * the node under the query pointer). Mirrors tpBfs()'s per-neighbor
+ * logic; step granularity is what makes engine interleaving visible.
+ */
+void
+stepEngine(LocatorState &st, BfsEngine &e, NodeId th, uint32_t round)
+{
+    auto &out = st.out;
+    if (e.query == e.count) {
+        finishIsland(st, e, round);
+        return;
+    }
+    NodeId node = e.vLocal[e.query];
+    out.stats.adjListFetches++;
+    for (NodeId n : st.g.neighbors(node)) {
+        e.edgesScanned++;
+        if (st.g.degree(n) >= th) {
+            e.hLocal.push_back(n);
+        } else if (st.visitedLocalTask[n] == e.taskId) {
+            // already explored by this engine
+        } else if (st.visitedGlobalRound[n] == round) {
+            // Break condition A: claimed by a concurrent engine.
+            for (NodeId v : e.vLocal)
+                st.visitedGlobalRound[v] = 0;
+            out.stats.tasksDroppedCollision++;
+            out.stats.edgesScanned += e.edgesScanned;
+            out.stats.edgesScannedWasted += e.edgesScanned;
+            e.busy = false;
+            return;
+        } else {
+            e.count++;
+            e.vLocal.push_back(n);
+            st.visitedLocalTask[n] = e.taskId;
+            st.visitedGlobalRound[n] = round;
+            if (e.count > st.cfg.maxIslandSize) {
+                // Break condition B: oversize; keep global marks.
+                out.stats.tasksDroppedOversize++;
+                out.stats.edgesScanned += e.edgesScanned;
+                out.stats.edgesScannedWasted += e.edgesScanned;
+                e.busy = false;
+                return;
+            }
+        }
+    }
+    e.query++;
+    if (e.query == e.count)
+        finishIsland(st, e, round);
+}
+
+/**
+ * Run the round's task queue on P2 concurrent engines, round-robin:
+ * each iteration every engine either starts a task or expands one
+ * node. This is the hardware's actual execution model; the set of
+ * islands found can differ from the sequential interleaving (both
+ * satisfy the coverage postconditions).
+ */
+void
+runParallelTpBfs(LocatorState &st,
+                 std::deque<std::pair<NodeId, NodeId>> &tasks,
+                 NodeId th, uint32_t round,
+                 std::vector<std::pair<NodeId, NodeId>> &inter_hub)
+{
+    auto &out = st.out;
+    std::vector<BfsEngine> engines(
+        std::max(1, st.cfg.p2));
+    bool any_busy = true;
+    while (any_busy || !tasks.empty()) {
+        any_busy = false;
+        for (BfsEngine &e : engines) {
+            if (!e.busy) {
+                // Pop tasks until one is viable (checks happen at pop
+                // time, as in the hardware's task queues).
+                while (!tasks.empty()) {
+                    auto [hub, a0] = tasks.front();
+                    tasks.pop_front();
+                    out.stats.tasksGenerated++;
+                    if (st.g.degree(a0) >= th) {
+                        out.stats.tasksInterHub++;
+                        inter_hub.emplace_back(std::min(hub, a0),
+                                               std::max(hub, a0));
+                        continue;
+                    }
+                    if (out.role[a0] == NodeRole::IslandNode ||
+                        st.visitedGlobalRound[a0] == round) {
+                        out.stats.tasksDroppedStartVisited++;
+                        continue;
+                    }
+                    e.busy = true;
+                    e.hub0 = hub;
+                    e.vLocal = {a0};
+                    e.hLocal = {hub};
+                    e.query = 0;
+                    e.count = 1;
+                    e.edgesScanned = 0;
+                    e.taskId = ++st.taskCounter;
+                    st.visitedLocalTask[a0] = e.taskId;
+                    st.visitedGlobalRound[a0] = round;
+                    break;
+                }
+            }
+            if (e.busy) {
+                stepEngine(st, e, th, round);
+                any_busy = any_busy || e.busy;
+            }
+        }
+    }
+}
+
+} // namespace
+
+IslandizationResult
+islandize(const CsrGraph &g, const LocatorConfig &cfg)
+{
+    if (cfg.maxIslandSize < 1)
+        throw std::invalid_argument("maxIslandSize must be >= 1");
+    if (cfg.decay <= 0.0 || cfg.decay >= 1.0)
+        throw std::invalid_argument("decay must be in (0, 1)");
+
+    LocatorState st(g, cfg);
+    auto &out = st.out;
+    const NodeId n = g.numNodes();
+
+    NodeId th = cfg.initialThreshold;
+    if (th == 0)
+        th = std::max<NodeId>(2, g.maxDegree() / 2);
+
+    // Node Degree Buffer contents: nodes not yet classified. Rebuilt
+    // (compacted) each round, mirroring the loop-back FIFOs.
+    std::vector<NodeId> node_list(n);
+    for (NodeId v = 0; v < n; ++v)
+        node_list[v] = v;
+
+    std::vector<std::pair<NodeId, NodeId>> inter_hub_raw;
+    uint32_t round = 0;
+    bool last_round_done = false;
+
+    while (!node_list.empty() && !last_round_done) {
+        round++;
+        if (th <= 1)
+            last_round_done = true;
+        out.thresholds.push_back(th);
+        RoundInfo round_info;
+        round_info.threshold = th;
+        round_info.nodesChecked = node_list.size();
+        const uint64_t edges_before = out.stats.edgesScanned;
+        const uint64_t islands_before = out.stats.islandsFound;
+
+        // --- Th1: detect_hub (Algorithm 2) -------------------------
+        std::vector<NodeId> hub_buffer;
+        std::vector<NodeId> remaining;
+        remaining.reserve(node_list.size());
+        out.stats.hubDetectChecks += node_list.size();
+        for (NodeId v : node_list) {
+            if (out.role[v] != NodeRole::Unclassified)
+                continue; // popped: classified in a previous round
+            if (g.degree(v) >= th) {
+                out.role[v] = NodeRole::Hub;
+                out.hubRound[v] = static_cast<uint16_t>(round);
+                hub_buffer.push_back(v);
+            } else {
+                remaining.push_back(v);
+            }
+        }
+        node_list = std::move(remaining);
+
+        // --- Th2 + Th3: task_assign (Alg. 3) + TP-BFS (Alg. 4) ----
+        if (cfg.parallelEngines) {
+            // P2 concurrent engines, round-robin interleaved.
+            std::deque<std::pair<NodeId, NodeId>> tasks;
+            for (NodeId hub : hub_buffer) {
+                out.stats.adjListFetches++;
+                for (NodeId a0 : g.neighbors(hub))
+                    tasks.emplace_back(hub, a0);
+            }
+            runParallelTpBfs(st, tasks, th, round, inter_hub_raw);
+        } else {
+            // Tasks processed as they are generated; this sequential
+            // order is one valid interleaving of the parallel engines.
+            for (NodeId hub : hub_buffer) {
+                out.stats.adjListFetches++;
+                for (NodeId a0 : g.neighbors(hub)) {
+                    out.stats.tasksGenerated++;
+                    if (g.degree(a0) >= th) {
+                        // a0 is itself a hub: record the inter-hub
+                        // connection.
+                        out.stats.tasksInterHub++;
+                        inter_hub_raw.emplace_back(std::min(hub, a0),
+                                                   std::max(hub, a0));
+                        if (cfg.recordTrace)
+                            out.taskTrace.push_back(
+                                {static_cast<uint16_t>(round),
+                                 TaskOutcome::InterHub, 0,
+                                 g.degree(hub)});
+                        continue;
+                    }
+                    if (out.role[a0] == NodeRole::IslandNode ||
+                        st.visitedGlobalRound[a0] == round) {
+                        out.stats.tasksDroppedStartVisited++;
+                        if (cfg.recordTrace)
+                            out.taskTrace.push_back(
+                                {static_cast<uint16_t>(round),
+                                 TaskOutcome::DroppedStartVisited, 0,
+                                 g.degree(hub)});
+                        continue;
+                    }
+                    tpBfs(st, hub, a0, th, round);
+                }
+            }
+        }
+
+        // --- End-of-round threshold decay (Algorithm 1 line 10) ----
+        auto next = static_cast<NodeId>(th * cfg.decay);
+        th = (next >= th) ? th - 1 : next;
+        if (th < 1)
+            th = 1;
+
+        // Compact away classified nodes so the emptiness check below
+        // reflects the true N.
+        std::erase_if(node_list, [&](NodeId v) {
+            return out.role[v] != NodeRole::Unclassified;
+        });
+
+        round_info.hubsDetected = hub_buffer.size();
+        round_info.edgesScanned = out.stats.edgesScanned - edges_before;
+        round_info.islandsFound =
+            out.stats.islandsFound - islands_before;
+        out.rounds.push_back(round_info);
+    }
+
+    // Degree-0 nodes are never anyone's neighbor and never reach the
+    // hub threshold: close them out as singleton islands.
+    if (!node_list.empty()) {
+        round++;
+        out.thresholds.push_back(0);
+        RoundInfo cleanup;
+        cleanup.threshold = 0;
+        cleanup.nodesChecked = node_list.size();
+        cleanup.islandsFound = node_list.size();
+        out.rounds.push_back(cleanup);
+        for (NodeId v : node_list) {
+            assert(g.degree(v) == 0);
+            Island island;
+            island.nodes = {v};
+            island.round = static_cast<int>(round);
+            out.role[v] = NodeRole::IslandNode;
+            out.islandOf[v] = static_cast<uint32_t>(out.islands.size());
+            out.islands.push_back(std::move(island));
+            out.stats.islandsFound++;
+        }
+    }
+
+    std::sort(inter_hub_raw.begin(), inter_hub_raw.end());
+    inter_hub_raw.erase(
+        std::unique(inter_hub_raw.begin(), inter_hub_raw.end()),
+        inter_hub_raw.end());
+    out.interHubEdges.assign(inter_hub_raw.begin(), inter_hub_raw.end());
+    out.numRounds = static_cast<int>(round);
+    return out;
+}
+
+} // namespace igcn

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Islandization-order permutation and density-grid rendering for the
+ * adjacency-matrix figures (Figures 9 and 13).
+ *
+ * After islandization the non-zeros of the permuted adjacency matrix
+ * fall entirely inside per-round hub rows/columns (the "L-shapes")
+ * and the island diagonal blocks (the "anti-diagonal" in the paper's
+ * bottom-left-origin rendering). The structural classifier quantifies
+ * that: clusteredFraction == 1.0 for islandization, < 1.0 for the
+ * lightweight reorderings of Section 4.5.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/locator.hpp"
+
+namespace igcn {
+
+/**
+ * Node order induced by islandization: rounds in ascending order;
+ * within a round, that round's hubs first, then that round's islands
+ * in discovery order. @return perm with perm[v] = new position.
+ */
+std::vector<NodeId> islandizationOrder(const IslandizationResult &isl);
+
+/**
+ * Density grid of the permuted adjacency matrix: grid_size x
+ * grid_size cells; each cell holds the fraction of its positions
+ * occupied by non-zeros, normalized so the densest cell is 1.0.
+ */
+std::vector<double> renderDensityGrid(const CsrGraph &g,
+                                      const std::vector<NodeId> &perm,
+                                      int grid_size);
+
+/** ASCII rendering of a density grid (space . : * #). */
+std::string asciiDensityPlot(const std::vector<double> &grid,
+                             int grid_size);
+
+/** Structural classification of non-zeros under a permutation. */
+struct ClusterCoverage
+{
+    EdgeId total = 0;        ///< all non-zeros
+    EdgeId inHubLShape = 0;  ///< row or column is a hub
+    EdgeId inIslandBlock = 0;///< both endpoints in the same island
+    EdgeId outliers = 0;     ///< everything else
+
+    double
+    clusteredFraction() const
+    {
+        if (total == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(outliers) / total;
+    }
+};
+
+/** Classify every edge of g against an islandization result. */
+ClusterCoverage classifyCoverage(const CsrGraph &g,
+                                 const IslandizationResult &isl);
+
+} // namespace igcn

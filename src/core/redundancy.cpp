@@ -1,0 +1,227 @@
+#include "core/redundancy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace igcn {
+
+uint64_t
+IslandBitmap::countBits() const
+{
+    uint64_t total = 0;
+    for (uint64_t w : bits)
+        total += std::popcount(w);
+    return total;
+}
+
+int
+IslandBitmap::countBitsInWindow(int r, int c0, int c1) const
+{
+    // Bit-parallel popcount over the word(s) the window spans.
+    const uint64_t *row = bits.data() + static_cast<size_t>(r) * rowStride;
+    int total = 0;
+    int c = c0;
+    while (c < c1) {
+        const int word = c / 64;
+        const int lo = c % 64;
+        const int take = std::min(c1 - c, 64 - lo);
+        uint64_t mask = (take == 64) ? ~uint64_t{0}
+                                     : (((uint64_t{1} << take) - 1) << lo);
+        total += std::popcount(row[word] & mask);
+        c += take;
+    }
+    return total;
+}
+
+namespace {
+
+/**
+ * Reusable scratch for global->local id translation: avoids an
+ * unordered_map allocation per island (the pruning accounting visits
+ * hundreds of thousands of islands on Reddit-scale graphs).
+ */
+struct LocalIdScratch
+{
+    std::vector<int> local;
+
+    void
+    ensure(size_t n)
+    {
+        if (local.size() < n)
+            local.assign(n, -1);
+    }
+};
+
+thread_local LocalIdScratch tls_scratch;
+
+} // namespace
+
+IslandBitmap
+buildIslandBitmap(const CsrGraph &g, const Island &island,
+                  bool include_self_loops)
+{
+    IslandBitmap bm;
+    bm.numHubs = static_cast<int>(island.hubs.size());
+    bm.numNodes = static_cast<int>(island.nodes.size());
+    bm.rowStride = (bm.width() + 63) / 64;
+    bm.bits.assign(static_cast<size_t>(bm.height()) * bm.rowStride, 0);
+
+    // Local column ids: island nodes in BFS order first, hubs last
+    // (see IslandBitmap doc for why).
+    auto &scratch = tls_scratch;
+    scratch.ensure(g.numNodes());
+    std::vector<int> &local = scratch.local;
+    for (int i = 0; i < bm.numNodes; ++i)
+        local[island.nodes[i]] = i;
+    for (int h = 0; h < bm.numHubs; ++h)
+        local[island.hubs[h]] = bm.numNodes + h;
+
+    // Island-node rows: all neighbors are inside the task by the
+    // coverage invariant.
+    for (int i = 0; i < bm.numNodes; ++i) {
+        for (NodeId nb : g.neighbors(island.nodes[i])) {
+            const int col = local[nb];
+            if (col < 0) {
+                // Roll back scratch before reporting the violation.
+                for (NodeId v : island.nodes) local[v] = -1;
+                for (NodeId h : island.hubs) local[h] = -1;
+                throw std::logic_error(
+                    "island coverage invariant violated: neighbor "
+                    "outside island+hubs");
+            }
+            bm.set(i, col);
+        }
+        if (include_self_loops)
+            bm.set(i, i);
+    }
+    // Hub rows: connections into the island only (hub-hub edges are
+    // inter-hub tasks; see IslandBitmap doc). Hubs can have very long
+    // adjacency lists shared across many islands, so walk the island
+    // columns instead and probe each hub's sorted list.
+    for (int h = 0; h < bm.numHubs; ++h) {
+        const int row = bm.numNodes + h;
+        const NodeId hub = island.hubs[h];
+        if (g.degree(hub) <=
+            static_cast<NodeId>(bm.numNodes) * 8) {
+            for (NodeId nb : g.neighbors(hub)) {
+                const int col = local[nb];
+                if (col >= 0 && col < bm.numNodes)
+                    bm.set(row, col);
+            }
+        } else {
+            for (int i = 0; i < bm.numNodes; ++i)
+                if (g.hasEdge(hub, island.nodes[i]))
+                    bm.set(row, i);
+        }
+    }
+
+    // Clear scratch for the next island.
+    for (NodeId v : island.nodes)
+        local[v] = -1;
+    for (NodeId h : island.hubs)
+        local[h] = -1;
+    return bm;
+}
+
+namespace {
+
+/** Count ops for one bitmap at a fixed k (k >= 2). */
+AggOpStats
+countAtK(const IslandBitmap &bm, int k, bool lazy_preagg)
+{
+    AggOpStats s;
+    s.chosenK = k;
+    const int width = bm.width();
+    const int num_groups = (width + k - 1) / k;
+    std::vector<bool> group_used(num_groups, false);
+
+    for (int r = 0; r < bm.height(); ++r) {
+        for (int grp = 0; grp < num_groups; ++grp) {
+            const int c0 = grp * k;
+            const int c1 = std::min(width, c0 + k);
+            const int k_eff = c1 - c0;
+            const int z = bm.countBitsInWindow(r, c0, c1);
+            s.baselineOps += z;
+            if (z == 0) {
+                s.windowsSkipped++;
+                continue;
+            }
+            // Add mode: one accumulation per set bit. Subtract mode:
+            // one add of the group pre-sum plus one subtraction per
+            // clear bit. The hardware picks the cheaper (Sec. 3.3.1).
+            const uint64_t add_cost = z;
+            const uint64_t sub_cost = 1 + (k_eff - z);
+            if (k_eff >= 2 && sub_cost < add_cost) {
+                s.windowOps += sub_cost;
+                s.windowsSubtractMode++;
+                group_used[grp] = true;
+            } else {
+                s.windowOps += add_cost;
+            }
+        }
+    }
+
+    for (int grp = 0; grp < num_groups; ++grp) {
+        const int c0 = grp * k;
+        const int k_eff = std::min(width, c0 + k) - c0;
+        if (k_eff < 2)
+            continue;
+        if (lazy_preagg && !group_used[grp])
+            continue;
+        s.preaggOps += k_eff - 1;
+    }
+    return s;
+}
+
+/** Baseline-only accounting (redundancy removal disabled). */
+AggOpStats
+countNoRemoval(const IslandBitmap &bm)
+{
+    AggOpStats s;
+    s.chosenK = 0;
+    s.baselineOps = bm.countBits();
+    s.windowOps = s.baselineOps;
+    return s;
+}
+
+} // namespace
+
+AggOpStats
+countIslandAggOps(const IslandBitmap &bm, const RedundancyConfig &cfg)
+{
+    if (!cfg.adaptiveK) {
+        if (cfg.k < 2)
+            return countNoRemoval(bm);
+        return countAtK(bm, cfg.k, cfg.lazyPreagg);
+    }
+    AggOpStats best = countNoRemoval(bm);
+    for (int k : {2, 4, 8, 16}) {
+        if (k > bm.width() && k != 2)
+            continue;
+        AggOpStats candidate = countAtK(bm, k, cfg.lazyPreagg);
+        if (candidate.optimizedOps() < best.optimizedOps())
+            best = candidate;
+    }
+    return best;
+}
+
+PruningReport
+countPruning(const CsrGraph &g, const IslandizationResult &isl,
+             const RedundancyConfig &cfg, bool include_self_loops)
+{
+    PruningReport report;
+    for (const Island &island : isl.islands) {
+        IslandBitmap bm = buildIslandBitmap(g, island,
+                                            include_self_loops);
+        report.islandOps += countIslandAggOps(bm, cfg);
+    }
+    // Each undirected inter-hub edge contributes two accumulations
+    // (each endpoint consumes the other); each hub one self loop.
+    report.interHubOps = 2 * isl.interHubEdges.size();
+    report.hubSelfOps = include_self_loops ? isl.numHubs() : 0;
+    return report;
+}
+
+} // namespace igcn

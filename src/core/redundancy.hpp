@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Shared-neighbor redundancy removal (Section 3.3 of the paper).
+ *
+ * After islandization, the Island Consumer evaluates each island as a
+ * small dense sub-graph. During combination it pre-aggregates the
+ * combined feature vectors of every k consecutive local columns; during
+ * aggregation it slides a 1 x k window over each row of the island's
+ * local adjacency bitmap and, per window, either accumulates the
+ * connected columns individually (cost = popcount) or takes the
+ * pre-aggregated group sum and subtracts the disconnected columns
+ * (cost = 1 + zeros), whichever is cheaper. Windows with no non-zeros
+ * are skipped entirely.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/island.hpp"
+
+namespace igcn {
+
+/**
+ * Local adjacency bitmap of one island task. Columns (and rows) are
+ * ordered [island nodes..., hubs...]: the dense island block comes
+ * first so the 1 x k scan windows over it are not diluted by the
+ * sparse hub columns (each hub column typically holds one bit per
+ * island row). The hub-row x hub-column block is always zero:
+ * hub-hub connections are handled by inter-hub tasks.
+ */
+struct IslandBitmap
+{
+    int numHubs = 0;
+    int numNodes = 0;
+    /** Words per row = ceil((numHubs + numNodes) / 64). */
+    int rowStride = 0;
+    /** Row-major bit matrix, (numHubs+numNodes) x rowStride words. */
+    std::vector<uint64_t> bits;
+
+    int width() const { return numHubs + numNodes; }
+    int height() const { return numHubs + numNodes; }
+
+    bool
+    test(int r, int c) const
+    {
+        return (bits[static_cast<size_t>(r) * rowStride + c / 64] >>
+                (c % 64)) & 1;
+    }
+
+    void
+    set(int r, int c)
+    {
+        bits[static_cast<size_t>(r) * rowStride + c / 64] |=
+            uint64_t{1} << (c % 64);
+    }
+
+    /** Number of set bits in the whole bitmap. */
+    uint64_t countBits() const;
+
+    /** Number of set bits in row r, columns [c0, c1). */
+    int countBitsInWindow(int r, int c0, int c1) const;
+};
+
+/**
+ * Build the local bitmap of an island.
+ *
+ * @param include_self_loops set the diagonal for island nodes,
+ *        modelling the +I of the normalized GCN adjacency. Hub self
+ *        loops are handled with the inter-hub tasks instead.
+ */
+IslandBitmap buildIslandBitmap(const CsrGraph &g, const Island &island,
+                               bool include_self_loops = true);
+
+/** Configuration of the redundancy-removal op accounting. */
+struct RedundancyConfig
+{
+    /** Pre-aggregation group width k (>= 2 enables removal). */
+    int k = 4;
+    /**
+     * If true, evaluate k in {2, 4, 8, 16} plus "no removal" per
+     * island and keep the cheapest (extension of the paper's
+     * "k can be customized"; the ablation bench quantifies it).
+     */
+    bool adaptiveK = true;
+    /**
+     * If true, only count pre-aggregation work for column groups
+     * actually consumed in subtract mode (idealized); the default
+     * charges every group, as the pipelined hardware computes them
+     * during combination regardless.
+     */
+    bool lazyPreagg = false;
+};
+
+/** Aggregation op accounting for one island (or totals over many). */
+struct AggOpStats
+{
+    /** Vector accumulations without removal (= bitmap non-zeros). */
+    uint64_t baselineOps = 0;
+    /** Pre-aggregation vector adds. */
+    uint64_t preaggOps = 0;
+    /** Window adds (add mode) + subtracts and group adds (sub mode). */
+    uint64_t windowOps = 0;
+    /** Windows skipped because they contain no non-zeros. */
+    uint64_t windowsSkipped = 0;
+    /** Windows evaluated in subtract mode. */
+    uint64_t windowsSubtractMode = 0;
+    /** Chosen k (meaningful per island; 0 = removal disabled). */
+    int chosenK = 0;
+
+    uint64_t optimizedOps() const { return preaggOps + windowOps; }
+
+    AggOpStats &
+    operator+=(const AggOpStats &o)
+    {
+        baselineOps += o.baselineOps;
+        preaggOps += o.preaggOps;
+        windowOps += o.windowOps;
+        windowsSkipped += o.windowsSkipped;
+        windowsSubtractMode += o.windowsSubtractMode;
+        return *this;
+    }
+};
+
+/** Count aggregation ops for one island bitmap under config cfg. */
+AggOpStats countIslandAggOps(const IslandBitmap &bm,
+                             const RedundancyConfig &cfg);
+
+/** Aggregate accounting over a full islandization result. */
+struct PruningReport
+{
+    AggOpStats islandOps;
+    /** Inter-hub aggregation ops (no removal applies). */
+    uint64_t interHubOps = 0;
+    /** Hub self-loop accumulations. */
+    uint64_t hubSelfOps = 0;
+
+    uint64_t
+    baselineAggOps() const
+    {
+        return islandOps.baselineOps + interHubOps + hubSelfOps;
+    }
+
+    uint64_t
+    optimizedAggOps() const
+    {
+        return islandOps.optimizedOps() + interHubOps + hubSelfOps;
+    }
+
+    /** Fraction of aggregation operations pruned (Figure 10, left). */
+    double
+    aggPruningRate() const
+    {
+        auto base = baselineAggOps();
+        if (base == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(optimizedAggOps()) / base;
+    }
+
+    /**
+     * Fraction of *all* operations pruned given the op count of the
+     * combination phase (Figure 10, right).
+     */
+    double
+    overallPruningRate(uint64_t combination_ops,
+                       uint64_t agg_channels) const
+    {
+        double agg_base =
+            static_cast<double>(baselineAggOps()) * agg_channels;
+        double agg_opt =
+            static_cast<double>(optimizedAggOps()) * agg_channels;
+        double total = static_cast<double>(combination_ops) + agg_base;
+        if (total == 0.0)
+            return 0.0;
+        return (agg_base - agg_opt) / total;
+    }
+};
+
+/**
+ * Run the op accounting over every island plus the inter-hub edge map.
+ * The returned baseline always equals nnz(A) + numNodes (the +I self
+ * loops), a property the tests assert.
+ */
+PruningReport countPruning(const CsrGraph &g,
+                           const IslandizationResult &isl,
+                           const RedundancyConfig &cfg,
+                           bool include_self_loops = true);
+
+} // namespace igcn

@@ -1,0 +1,90 @@
+#include "gcn/layer.hpp"
+
+#include <cmath>
+
+namespace igcn {
+
+std::vector<float>
+degreeScaling(const CsrGraph &g)
+{
+    std::vector<float> s(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        s[v] = 1.0f / std::sqrt(static_cast<float>(g.degree(v)) + 1.0f);
+    return s;
+}
+
+void
+scaleRows(DenseMatrix &m, const std::vector<float> &s)
+{
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float *row = m.row(r);
+        for (size_t c = 0; c < m.cols(); ++c)
+            row[c] *= s[r];
+    }
+}
+
+CsrMatrix
+normalizedAdjacency(const CsrGraph &g)
+{
+    std::vector<float> s = degreeScaling(g);
+    CsrMatrix m;
+    m.numRows = g.numNodes();
+    m.numCols = g.numNodes();
+    m.rowPtr.assign(g.numNodes() + 1, 0);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        bool self_inserted = false;
+        for (NodeId v : g.neighbors(u)) {
+            if (!self_inserted && v >= u) {
+                m.colIdx.push_back(u);
+                m.values.push_back(s[u] * s[u]);
+                self_inserted = true;
+                if (v == u)
+                    continue; // graph already had the self loop
+            }
+            m.colIdx.push_back(v);
+            m.values.push_back(s[u] * s[v]);
+        }
+        if (!self_inserted) {
+            m.colIdx.push_back(u);
+            m.values.push_back(s[u] * s[u]);
+        }
+        m.rowPtr[u + 1] = m.colIdx.size();
+    }
+    return m;
+}
+
+CsrMatrix
+binaryAdjacencyWithSelfLoops(const CsrGraph &g)
+{
+    CsrMatrix m;
+    m.numRows = g.numNodes();
+    m.numCols = g.numNodes();
+    m.rowPtr.assign(g.numNodes() + 1, 0);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        bool self_inserted = false;
+        for (NodeId v : g.neighbors(u)) {
+            if (!self_inserted && v >= u) {
+                m.colIdx.push_back(u);
+                self_inserted = true;
+                if (v == u)
+                    continue;
+            }
+            m.colIdx.push_back(v);
+        }
+        if (!self_inserted)
+            m.colIdx.push_back(u);
+        m.rowPtr[u + 1] = m.colIdx.size();
+    }
+    m.values.assign(m.colIdx.size(), 1.0f);
+    return m;
+}
+
+void
+reluInPlace(DenseMatrix &m)
+{
+    for (float &v : m.data())
+        if (v < 0.0f)
+            v = 0.0f;
+}
+
+} // namespace igcn

@@ -1,0 +1,63 @@
+#include "gcn/models.hpp"
+
+#include <stdexcept>
+
+namespace igcn {
+
+std::string
+modelName(Model m, NetConfig net)
+{
+    std::string base;
+    switch (m) {
+      case Model::GCN: base = "GCN"; break;
+      case Model::GraphSage: base = "GS"; break;
+      case Model::GIN: base = "GIN"; break;
+    }
+    return base + (net == NetConfig::Algo ? "-algo" : "-Hy");
+}
+
+ModelConfig
+modelConfig(Model m, NetConfig net, const DatasetInfo &info)
+{
+    ModelConfig cfg;
+    cfg.model = m;
+    cfg.net = net;
+    cfg.name = modelName(m, net);
+
+    const int f = info.numFeatures;
+    const int c = info.numClasses;
+
+    int hidden = 16;
+    if (net == NetConfig::Hy) {
+        hidden = 128;
+    } else {
+        switch (m) {
+          case Model::GCN:
+            // Kipf & Welling: 16 hidden for the citation graphs,
+            // 64 for NELL; 128 is the standard Reddit configuration.
+            if (info.name == "Nell")
+                hidden = 64;
+            else if (info.name == "Reddit")
+                hidden = 128;
+            else
+                hidden = 16;
+            break;
+          case Model::GraphSage:
+            hidden = 128;
+            break;
+          case Model::GIN:
+            hidden = 64;
+            break;
+        }
+    }
+
+    if (m == Model::GIN) {
+        // GIN uses three GraphCONV layers in the paper's evaluation.
+        cfg.layers = {{f, hidden}, {hidden, hidden}, {hidden, c}};
+    } else {
+        cfg.layers = {{f, hidden}, {hidden, c}};
+    }
+    return cfg;
+}
+
+} // namespace igcn

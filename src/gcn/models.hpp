@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Model configurations used in the paper's evaluation: GCN,
+ * GraphSage and GIN, each in the "algo" configuration (hidden sizes
+ * from the original algorithm papers, as used by AWB-GCN/EnGN) and
+ * the "Hy" configuration (128 hidden channels everywhere, as used by
+ * HyGCN). As the paper notes (Section 2.1, citing GCNAX), the forward
+ * propagation of all three reduces to the same A_hat X W SpMM chain,
+ * so one LayerDims sequence per model suffices for both the
+ * functional path and the op/traffic accounting.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+
+namespace igcn {
+
+/** Supported GNN models. */
+enum class Model { GCN, GraphSage, GIN };
+
+/** Network configuration family. */
+enum class NetConfig
+{
+    Algo, ///< hidden sizes from the original algorithm papers
+    Hy    ///< 128 hidden channels (HyGCN's configuration)
+};
+
+/** Dimensions of one GraphCONV layer: in -> out channels. */
+struct LayerDims
+{
+    int inChannels = 0;
+    int outChannels = 0;
+};
+
+/** A full model: an ordered list of GraphCONV layers. */
+struct ModelConfig
+{
+    Model model = Model::GCN;
+    NetConfig net = NetConfig::Algo;
+    std::string name;
+    std::vector<LayerDims> layers;
+
+    int numLayers() const { return static_cast<int>(layers.size()); }
+};
+
+/**
+ * Build the layer dimensions for a model on a dataset.
+ *
+ * GCN-algo uses the hidden sizes of Kipf & Welling (16 for the
+ * citation graphs, 64 for NELL) and 128 for Reddit; GraphSage-algo
+ * uses 128; GIN uses three layers of 64. The Hy variants use 128
+ * hidden channels for all datasets.
+ */
+ModelConfig modelConfig(Model m, NetConfig net, const DatasetInfo &info);
+
+/** Short display name like "GCN-algo" / "GS-Hy" / "GIN". */
+std::string modelName(Model m, NetConfig net);
+
+} // namespace igcn

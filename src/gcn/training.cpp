@@ -1,0 +1,195 @@
+#include "gcn/training.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace igcn {
+
+namespace {
+
+/** C = A^T * B for dense A (rows x k), B (rows x n). */
+DenseMatrix
+gemmTransposeA(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.rows() != b.rows())
+        throw std::invalid_argument("shape mismatch in gemmTransposeA");
+    DenseMatrix c(a.cols(), b.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *arow = a.row(r);
+        const float *brow = b.row(r);
+        for (size_t i = 0; i < a.cols(); ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+/** C = X^T * B for CSR X (rows x k), dense B (rows x n). */
+DenseMatrix
+csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
+{
+    if (x.numRows != b.rows())
+        throw std::invalid_argument(
+            "shape mismatch in csrTransposeTimesDense");
+    DenseMatrix c(x.numCols, b.cols());
+    for (NodeId r = 0; r < x.numRows; ++r) {
+        const float *brow = b.row(r);
+        for (EdgeId e = x.rowPtr[r]; e < x.rowPtr[r + 1]; ++e) {
+            float *crow = c.row(x.colIdx[e]);
+            const float v = x.values[e];
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += v * brow[j];
+        }
+    }
+    return c;
+}
+
+/** C = A * B^T for dense A (m x n), B (k x n). */
+DenseMatrix
+gemmTransposeB(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.cols())
+        throw std::invalid_argument("shape mismatch in gemmTransposeB");
+    DenseMatrix c(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        for (size_t j = 0; j < b.rows(); ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (size_t k = 0; k < a.cols(); ++k)
+                acc += arow[k] * brow[k];
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+/** Elementwise mask: grad *= (pre > 0). */
+void
+reluBackwardInPlace(DenseMatrix &grad, const DenseMatrix &pre)
+{
+    for (size_t i = 0; i < grad.data().size(); ++i)
+        if (pre.data()[i] <= 0.0f)
+            grad.data()[i] = 0.0f;
+}
+
+} // namespace
+
+ForwardCache
+trainingForward(const CsrGraph &g, const IslandizationResult &isl,
+                const Features &x,
+                const std::vector<DenseMatrix> &weights,
+                const RedundancyConfig &cfg)
+{
+    if (weights.empty())
+        throw std::invalid_argument("no layers");
+    std::vector<float> s = degreeScaling(g);
+
+    ForwardCache cache;
+    DenseMatrix current;
+    for (size_t l = 0; l < weights.size(); ++l) {
+        cache.layerInputs.push_back(l == 0 ? DenseMatrix{} : current);
+        DenseMatrix u = (l == 0)
+            ? (x.sparse ? csrTimesDense(x.csr, weights[l])
+                        : gemm(x.dense, weights[l]))
+            : gemm(current, weights[l]);
+        scaleRows(u, s);
+        DenseMatrix z = aggregateViaIslands(g, isl, u, cfg);
+        scaleRows(z, s);
+        cache.preActivations.push_back(z);
+        current = std::move(z);
+        if (l + 1 < weights.size())
+            reluInPlace(current);
+    }
+    cache.output = current;
+    return cache;
+}
+
+double
+mseLoss(const DenseMatrix &output, const DenseMatrix &target,
+        DenseMatrix *grad_out)
+{
+    if (output.rows() != target.rows() ||
+        output.cols() != target.cols())
+        throw std::invalid_argument("shape mismatch in mseLoss");
+    const double n = static_cast<double>(output.data().size());
+    double loss = 0.0;
+    if (grad_out)
+        *grad_out = DenseMatrix(output.rows(), output.cols());
+    for (size_t i = 0; i < output.data().size(); ++i) {
+        const double diff = static_cast<double>(output.data()[i]) -
+            target.data()[i];
+        loss += diff * diff;
+        if (grad_out)
+            grad_out->data()[i] =
+                static_cast<float>(2.0 * diff / n);
+    }
+    return loss / n;
+}
+
+Gradients
+trainingBackward(const CsrGraph &g, const IslandizationResult &isl,
+                 const Features &x,
+                 const std::vector<DenseMatrix> &weights,
+                 const ForwardCache &cache,
+                 const DenseMatrix &grad_output,
+                 const RedundancyConfig &cfg)
+{
+    const size_t num_layers = weights.size();
+    std::vector<float> s = degreeScaling(g);
+
+    Gradients grads;
+    grads.weightGrads.resize(num_layers);
+
+    // G = dL/d(preActivation of layer l), walked backwards.
+    DenseMatrix grad = grad_output;
+    for (size_t l = num_layers; l-- > 0;) {
+        if (l + 1 < num_layers)
+            reluBackwardInPlace(grad, cache.preActivations[l]);
+
+        // Backward through S (A+I) S, reusing the island consumer:
+        // A_hat is symmetric, so the same binary aggregation applies.
+        scaleRows(grad, s);
+        DenseMatrix du = aggregateViaIslands(g, isl, grad, cfg,
+                                             &grads.backwardAggOps);
+        scaleRows(du, s);
+
+        // dW = X(l)^T dU.
+        if (l == 0) {
+            grads.weightGrads[l] = x.sparse
+                ? csrTransposeTimesDense(x.csr, du)
+                : gemmTransposeA(x.dense, du);
+        } else {
+            grads.weightGrads[l] =
+                gemmTransposeA(cache.layerInputs[l], du);
+        }
+
+        // dX(l) = dU W(l)^T, the upstream gradient.
+        if (l > 0)
+            grad = gemmTransposeB(du, weights[l]);
+    }
+    return grads;
+}
+
+void
+sgdStep(std::vector<DenseMatrix> &weights, const Gradients &grads,
+        float lr)
+{
+    if (weights.size() != grads.weightGrads.size())
+        throw std::invalid_argument("weight/grad count mismatch");
+    for (size_t l = 0; l < weights.size(); ++l) {
+        auto &w = weights[l].data();
+        const auto &gw = grads.weightGrads[l].data();
+        if (w.size() != gw.size())
+            throw std::invalid_argument("weight/grad shape mismatch");
+        for (size_t i = 0; i < w.size(); ++i)
+            w[i] -= lr * gw[i];
+    }
+}
+
+} // namespace igcn

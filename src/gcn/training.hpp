@@ -1,0 +1,77 @@
+/**
+ * @file
+ * GCN training through island-based aggregation (extension).
+ *
+ * The paper targets inference, but notes GraphACT accelerates
+ * *training* with offline shared-neighbor pre-processing; runtime
+ * islandization removes that preprocessing for training too. The key
+ * observation: with A_hat = S (A + I) S symmetric, the backward pass
+ * aggregates with the *same* binary structure as the forward pass —
+ * dX(l) = A_hat dZ(l) W(l)^T (masked by the ReLU), so the Island
+ * Consumer (and its redundancy removal) is reused verbatim for
+ * gradients.
+ *
+ * Implemented: forward with cached activations, mean-squared-error
+ * loss, full backward producing weight gradients, and an SGD step.
+ * The test suite checks the analytic gradients against central
+ * finite differences.
+ */
+
+#pragma once
+
+#include "core/consumer.hpp"
+#include "gcn/reference.hpp"
+
+namespace igcn {
+
+/** Cached per-layer state from the forward pass. */
+struct ForwardCache
+{
+    /** Input to each layer's combination (X(l)); [0] unused when the
+     *  input features are sparse (kept in the Features object). */
+    std::vector<DenseMatrix> layerInputs;
+    /** Pre-activation outputs S (A+I) S X W of each layer. */
+    std::vector<DenseMatrix> preActivations;
+    /** Final output. */
+    DenseMatrix output;
+};
+
+/** Result of one backward pass. */
+struct Gradients
+{
+    std::vector<DenseMatrix> weightGrads;
+    /** Aggregation op accounting of the backward pass. */
+    AggOpStats backwardAggOps;
+};
+
+/**
+ * Forward pass with cached intermediates, executed through the
+ * Island Consumer.
+ */
+ForwardCache trainingForward(const CsrGraph &g,
+                             const IslandizationResult &isl,
+                             const Features &x,
+                             const std::vector<DenseMatrix> &weights,
+                             const RedundancyConfig &cfg = {});
+
+/** Mean-squared-error loss and its gradient w.r.t. the output. */
+double mseLoss(const DenseMatrix &output, const DenseMatrix &target,
+               DenseMatrix *grad_out = nullptr);
+
+/**
+ * Backward pass: given dL/d(output), produce dL/dW for every layer,
+ * aggregating gradients through the islands.
+ */
+Gradients trainingBackward(const CsrGraph &g,
+                           const IslandizationResult &isl,
+                           const Features &x,
+                           const std::vector<DenseMatrix> &weights,
+                           const ForwardCache &cache,
+                           const DenseMatrix &grad_output,
+                           const RedundancyConfig &cfg = {});
+
+/** In-place SGD update: w -= lr * grad. */
+void sgdStep(std::vector<DenseMatrix> &weights,
+             const Gradients &grads, float lr);
+
+} // namespace igcn

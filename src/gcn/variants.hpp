@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Functional forward passes for the three GNN variants the paper
+ * evaluates (Section 4.1), each expressed in the matrix form that
+ * I-GCN's binary island aggregation supports (the paper cites GCNAX
+ * for the reduction of "most GCNs" to A_hat X W chains):
+ *
+ *  - GCN (Kipf & Welling): X' = relu(D^-1/2 (A+I) D^-1/2 X W)
+ *    — symmetric normalization, factored as S (A+I) S.
+ *  - GraphSage (mean aggregator, matrix form): X' =
+ *    relu(D^-1 (A+I) X W) — row normalization applied *after* the
+ *    binary aggregation.
+ *  - GIN: X' = relu(((A + (1+eps) I) X) W) — unweighted neighbor sum
+ *    plus an epsilon-weighted self term; the island pass aggregates
+ *    without self loops and adds (1+eps) X explicitly.
+ *
+ * All three run both as a golden reference and through the Island
+ * Consumer with redundancy removal; the test suite checks the two
+ * paths agree, proving the removal is lossless for every variant.
+ */
+
+#pragma once
+
+#include "core/consumer.hpp"
+#include "gcn/reference.hpp"
+
+namespace igcn {
+
+/** Per-variant execution options. */
+struct VariantOptions
+{
+    Model model = Model::GCN;
+    /** GIN's epsilon (ignored by the other variants). */
+    float ginEpsilon = 0.1f;
+};
+
+/** Golden forward pass for a variant (explicit SpMM path). */
+DenseMatrix variantForward(const CsrGraph &g, const Features &x,
+                           const std::vector<DenseMatrix> &weights,
+                           const VariantOptions &opt);
+
+/**
+ * Variant forward pass executed through the Island Consumer with
+ * shared-neighbor redundancy removal.
+ */
+DenseMatrix variantForwardViaIslands(
+    const CsrGraph &g, const IslandizationResult &isl,
+    const Features &x, const std::vector<DenseMatrix> &weights,
+    const VariantOptions &opt, const RedundancyConfig &cfg = {},
+    AggOpStats *stats = nullptr);
+
+} // namespace igcn

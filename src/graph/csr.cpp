@@ -1,0 +1,166 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace igcn {
+
+CsrGraph
+CsrGraph::fromEdges(NodeId num_nodes, const std::vector<Edge> &edges,
+                    bool symmetrize, bool keep_self_loops)
+{
+    std::vector<Edge> work;
+    work.reserve(edges.size() * (symmetrize ? 2 : 1));
+    for (const auto &[u, v] : edges) {
+        if (u >= num_nodes || v >= num_nodes)
+            throw std::out_of_range("edge endpoint exceeds num_nodes");
+        if (u == v && !keep_self_loops)
+            continue;
+        work.emplace_back(u, v);
+        if (symmetrize && u != v)
+            work.emplace_back(v, u);
+    }
+    std::sort(work.begin(), work.end());
+    work.erase(std::unique(work.begin(), work.end()), work.end());
+
+    CsrGraph g;
+    g.rowPtr.assign(num_nodes + 1, 0);
+    g.colIdx.resize(work.size());
+    for (const auto &[u, v] : work)
+        g.rowPtr[u + 1]++;
+    std::partial_sum(g.rowPtr.begin(), g.rowPtr.end(), g.rowPtr.begin());
+    std::vector<EdgeId> cursor(g.rowPtr.begin(), g.rowPtr.end() - 1);
+    for (const auto &[u, v] : work)
+        g.colIdx[cursor[u]++] = v;
+    return g;
+}
+
+bool
+CsrGraph::hasEdge(NodeId u, NodeId v) const
+{
+    auto nbrs = neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+NodeId
+CsrGraph::maxDegree() const
+{
+    NodeId best = 0;
+    for (NodeId v = 0; v < numNodes(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+double
+CsrGraph::avgDegree() const
+{
+    if (numNodes() == 0)
+        return 0.0;
+    return static_cast<double>(numEdges()) / numNodes();
+}
+
+bool
+CsrGraph::isSymmetric() const
+{
+    for (NodeId u = 0; u < numNodes(); ++u)
+        for (NodeId v : neighbors(u))
+            if (!hasEdge(v, u))
+                return false;
+    return true;
+}
+
+EdgeId
+CsrGraph::numSelfLoops() const
+{
+    EdgeId count = 0;
+    for (NodeId u = 0; u < numNodes(); ++u)
+        if (hasEdge(u, u))
+            count++;
+    return count;
+}
+
+CsrGraph
+CsrGraph::permuted(const std::vector<NodeId> &perm) const
+{
+    assert(perm.size() == numNodes());
+    std::vector<Edge> edges;
+    edges.reserve(numEdges());
+    for (NodeId u = 0; u < numNodes(); ++u)
+        for (NodeId v : neighbors(u))
+            edges.emplace_back(perm[u], perm[v]);
+    return fromEdges(numNodes(), edges, /*symmetrize=*/false,
+                     /*keep_self_loops=*/true);
+}
+
+std::vector<Edge>
+CsrGraph::toEdges() const
+{
+    std::vector<Edge> edges;
+    edges.reserve(numEdges());
+    for (NodeId u = 0; u < numNodes(); ++u)
+        for (NodeId v : neighbors(u))
+            edges.emplace_back(u, v);
+    return edges;
+}
+
+std::vector<EdgeId>
+degreeHistogram(const CsrGraph &g)
+{
+    std::vector<EdgeId> hist(g.maxDegree() + 1, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        hist[g.degree(v)]++;
+    return hist;
+}
+
+std::pair<std::vector<NodeId>, NodeId>
+connectedComponents(const CsrGraph &g)
+{
+    const NodeId n = g.numNodes();
+    constexpr NodeId kUnseen = ~NodeId{0};
+    std::vector<NodeId> comp(n, kUnseen);
+    std::vector<NodeId> stack;
+    NodeId num_comps = 0;
+    for (NodeId start = 0; start < n; ++start) {
+        if (comp[start] != kUnseen)
+            continue;
+        comp[start] = num_comps;
+        stack.push_back(start);
+        while (!stack.empty()) {
+            NodeId u = stack.back();
+            stack.pop_back();
+            for (NodeId v : g.neighbors(u)) {
+                if (comp[v] == kUnseen) {
+                    comp[v] = num_comps;
+                    stack.push_back(v);
+                }
+            }
+        }
+        num_comps++;
+    }
+    return {std::move(comp), num_comps};
+}
+
+bool
+isPermutation(const std::vector<NodeId> &perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (NodeId p : perm) {
+        if (p >= perm.size() || seen[p])
+            return false;
+        seen[p] = true;
+    }
+    return true;
+}
+
+std::vector<NodeId>
+inversePermutation(const std::vector<NodeId> &perm)
+{
+    std::vector<NodeId> inv(perm.size());
+    for (NodeId v = 0; v < perm.size(); ++v)
+        inv[perm[v]] = v;
+    return inv;
+}
+
+} // namespace igcn

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Compressed Sparse Row graph representation.
+ *
+ * The CSR graph is the substrate every other module builds on: the
+ * islandization algorithms traverse it, the SpMM kernels interpret it
+ * as the adjacency matrix A, and the accelerator timing models derive
+ * op and traffic counts from it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace igcn {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+/** A directed edge (src, dst). Undirected graphs store both arcs. */
+using Edge = std::pair<NodeId, NodeId>;
+
+/**
+ * Immutable CSR graph. Neighbor lists are sorted by destination id
+ * and contain no duplicates; self loops are allowed only when
+ * explicitly requested by the builder.
+ */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Build from an arbitrary edge list.
+     *
+     * @param num_nodes   number of nodes (ids in [0, num_nodes))
+     * @param edges       directed edge list; duplicates are removed
+     * @param symmetrize  if true, insert the reverse of every edge
+     * @param keep_self_loops if false, drop (v, v) edges
+     */
+    static CsrGraph fromEdges(NodeId num_nodes,
+                              const std::vector<Edge> &edges,
+                              bool symmetrize = true,
+                              bool keep_self_loops = false);
+
+    /** Number of nodes. */
+    NodeId numNodes() const { return static_cast<NodeId>(rowPtr.size() - 1); }
+
+    /** Number of stored (directed) edges. */
+    EdgeId numEdges() const { return static_cast<EdgeId>(colIdx.size()); }
+
+    /** Out-degree of node v. */
+    NodeId
+    degree(NodeId v) const
+    {
+        return static_cast<NodeId>(rowPtr[v + 1] - rowPtr[v]);
+    }
+
+    /** Sorted neighbor list of node v. */
+    std::span<const NodeId>
+    neighbors(NodeId v) const
+    {
+        return {colIdx.data() + rowPtr[v],
+                colIdx.data() + rowPtr[v + 1]};
+    }
+
+    /** True if (u, v) is an edge. O(log degree(u)). */
+    bool hasEdge(NodeId u, NodeId v) const;
+
+    /** Maximum degree over all nodes. */
+    NodeId maxDegree() const;
+
+    /** Average degree. */
+    double avgDegree() const;
+
+    /** True if for every edge (u, v) the edge (v, u) also exists. */
+    bool isSymmetric() const;
+
+    /** Number of self loops stored. */
+    EdgeId numSelfLoops() const;
+
+    /**
+     * Relabel nodes: node v becomes position perm[v] in the new
+     * graph (perm is a bijection on [0, numNodes)).
+     */
+    CsrGraph permuted(const std::vector<NodeId> &perm) const;
+
+    /** Full directed edge list (u, v) in row order. */
+    std::vector<Edge> toEdges() const;
+
+    /** Row pointer array (size numNodes + 1). */
+    const std::vector<EdgeId> &rows() const { return rowPtr; }
+
+    /** Column index array (size numEdges). */
+    const std::vector<NodeId> &cols() const { return colIdx; }
+
+    bool operator==(const CsrGraph &other) const = default;
+
+  private:
+    std::vector<EdgeId> rowPtr{0};
+    std::vector<NodeId> colIdx;
+};
+
+/** Histogram of node degrees: result[d] = number of nodes of degree d. */
+std::vector<EdgeId> degreeHistogram(const CsrGraph &g);
+
+/**
+ * Connected components of an undirected graph.
+ * @return component id per node, and the number of components.
+ */
+std::pair<std::vector<NodeId>, NodeId>
+connectedComponents(const CsrGraph &g);
+
+/** True if perm is a bijection on [0, n). */
+bool isPermutation(const std::vector<NodeId> &perm);
+
+/** Inverse of a permutation. */
+std::vector<NodeId> inversePermutation(const std::vector<NodeId> &perm);
+
+} // namespace igcn

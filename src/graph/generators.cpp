@@ -1,0 +1,260 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace igcn {
+
+HubIslandGraph
+hubAndIslandGraph(const HubIslandParams &params)
+{
+    Rng rng(params.seed);
+    const NodeId n = params.numNodes;
+    auto num_hubs =
+        std::max<NodeId>(1, static_cast<NodeId>(n * params.hubFraction));
+    if (num_hubs > n)
+        num_hubs = n;
+
+    // Provisional ids: hubs occupy [0, num_hubs), island nodes follow.
+    // A final shuffle hides this layout.
+    std::vector<NodeId> island_of(n, HubIslandGraph::kNoIsland);
+    std::vector<bool> is_hub(n, false);
+    for (NodeId h = 0; h < num_hubs; ++h)
+        is_hub[h] = true;
+
+    // Carve island nodes into islands of size uniform in [2, 2*mean).
+    std::vector<std::vector<NodeId>> islands;
+    NodeId next = num_hubs;
+    while (next < n) {
+        NodeId size = 2 + static_cast<NodeId>(rng.nextBounded(
+            std::max<NodeId>(1, 2 * params.meanIslandSize - 2)));
+        size = std::min<NodeId>(size, n - next);
+        std::vector<NodeId> members(size);
+        std::iota(members.begin(), members.end(), next);
+        for (NodeId m : members)
+            island_of[m] = static_cast<NodeId>(islands.size());
+        next += size;
+        islands.push_back(std::move(members));
+    }
+
+    std::vector<Edge> edges;
+
+    // Intra-island edges: Bernoulli over all pairs, plus a spanning
+    // path to guarantee each island is connected.
+    for (const auto &members : islands) {
+        for (size_t i = 1; i < members.size(); ++i)
+            edges.emplace_back(members[i - 1], members[i]);
+        for (size_t i = 0; i < members.size(); ++i) {
+            for (size_t j = i + 1; j < members.size(); ++j) {
+                if (rng.nextBool(params.intraIslandProb))
+                    edges.emplace_back(members[i], members[j]);
+            }
+        }
+    }
+
+    // Island-to-hub attachments: each island selects a small set of
+    // hubs (power-law popularity) that its members share. Shared hubs
+    // give hubs clearly dominant degree and create the dense hub
+    // columns in the island bitmaps (Figure 7's node H).
+    for (const auto &members : islands) {
+        auto num_attach = static_cast<int>(params.hubsPerIsland);
+        if (rng.nextDouble() <
+            params.hubsPerIsland - std::floor(params.hubsPerIsland))
+            num_attach++;
+        num_attach = std::max(num_attach, 1);
+        std::vector<NodeId> island_hubs;
+        for (int a = 0; a < num_attach; ++a)
+            island_hubs.push_back(static_cast<NodeId>(
+                rng.nextPowerLaw(1, num_hubs, params.hubPopularityExp) -
+                1));
+        bool island_linked = false;
+        for (NodeId m : members) {
+            for (NodeId hub : island_hubs) {
+                if (rng.nextBool(params.hubAttachProb)) {
+                    edges.emplace_back(m, hub);
+                    island_linked = true;
+                }
+            }
+        }
+        // Every island keeps at least one hub link so no island is an
+        // isolated component.
+        if (!island_linked && !members.empty())
+            edges.emplace_back(members[0], island_hubs[0]);
+    }
+
+    // Hub-hub edges.
+    auto hub_hub_edges =
+        static_cast<EdgeId>(num_hubs * params.hubHubDegree / 2.0);
+    for (EdgeId e = 0; e < hub_hub_edges; ++e) {
+        NodeId h1 = static_cast<NodeId>(
+            rng.nextPowerLaw(1, num_hubs, params.hubPopularityExp) - 1);
+        NodeId h2 = static_cast<NodeId>(rng.nextBounded(num_hubs));
+        if (h1 != h2)
+            edges.emplace_back(h1, h2);
+    }
+
+    // Weaken community structure by rewiring a fraction of the
+    // intra-island edges to uniformly random targets.
+    if (params.communityStrength < 1.0) {
+        double rewire_p = 1.0 - params.communityStrength;
+        for (auto &[u, v] : edges) {
+            bool intra = island_of[u] != HubIslandGraph::kNoIsland &&
+                         island_of[u] == island_of[v];
+            if (intra && rng.nextBool(rewire_p))
+                v = static_cast<NodeId>(rng.nextBounded(n));
+        }
+    }
+
+    // Shuffle node ids (Fisher-Yates) so structure is hidden.
+    std::vector<NodeId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (NodeId i = n; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.nextBounded(i)]);
+
+    std::vector<Edge> shuffled;
+    shuffled.reserve(edges.size());
+    for (const auto &[u, v] : edges)
+        shuffled.emplace_back(perm[u], perm[v]);
+
+    HubIslandGraph out;
+    out.graph = CsrGraph::fromEdges(n, shuffled, /*symmetrize=*/true);
+    out.islandOf.assign(n, HubIslandGraph::kNoIsland);
+    out.isHub.assign(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+        out.islandOf[perm[v]] = island_of[v];
+        out.isHub[perm[v]] = is_hub[v];
+    }
+    out.numIslands = static_cast<NodeId>(islands.size());
+    return out;
+}
+
+CsrGraph
+erdosRenyi(NodeId num_nodes, double avg_degree, uint64_t seed)
+{
+    Rng rng(seed);
+    auto num_edges =
+        static_cast<EdgeId>(num_nodes * avg_degree / 2.0);
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        NodeId u = static_cast<NodeId>(rng.nextBounded(num_nodes));
+        NodeId v = static_cast<NodeId>(rng.nextBounded(num_nodes));
+        if (u != v)
+            edges.emplace_back(u, v);
+    }
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph
+rmat(NodeId num_nodes, EdgeId num_edges, double a, double b, double c,
+     uint64_t seed)
+{
+    Rng rng(seed);
+    int scale = 0;
+    while ((NodeId{1} << scale) < num_nodes)
+        scale++;
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        NodeId u = 0, v = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+            double r = rng.nextDouble();
+            if (r < a) {
+                // upper-left quadrant: no bits set
+            } else if (r < a + b) {
+                v |= NodeId{1} << bit;
+            } else if (r < a + b + c) {
+                u |= NodeId{1} << bit;
+            } else {
+                u |= NodeId{1} << bit;
+                v |= NodeId{1} << bit;
+            }
+        }
+        if (u < num_nodes && v < num_nodes && u != v)
+            edges.emplace_back(u, v);
+    }
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph
+barabasiAlbert(NodeId num_nodes, int m, uint64_t seed)
+{
+    if (m < 1)
+        throw std::invalid_argument("m must be >= 1");
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    // Endpoint pool: picking a uniform entry is degree-proportional.
+    std::vector<NodeId> pool;
+    const NodeId seed_nodes =
+        std::min<NodeId>(num_nodes, static_cast<NodeId>(m) + 1);
+    for (NodeId u = 0; u < seed_nodes; ++u)
+        for (NodeId v = u + 1; v < seed_nodes; ++v) {
+            edges.emplace_back(u, v);
+            pool.push_back(u);
+            pool.push_back(v);
+        }
+    for (NodeId v = seed_nodes; v < num_nodes; ++v) {
+        for (int a = 0; a < m; ++a) {
+            NodeId target =
+                pool[rng.nextBounded(pool.size())];
+            if (target == v)
+                continue;
+            edges.emplace_back(v, target);
+            pool.push_back(v);
+            pool.push_back(target);
+        }
+    }
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph
+wattsStrogatz(NodeId num_nodes, int k, double beta, uint64_t seed)
+{
+    if (k < 1)
+        throw std::invalid_argument("k must be >= 1");
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        for (int j = 1; j <= k; ++j) {
+            NodeId v = (u + j) % num_nodes;
+            if (rng.nextBool(beta))
+                v = static_cast<NodeId>(rng.nextBounded(num_nodes));
+            if (u != v)
+                edges.emplace_back(u, v);
+        }
+    }
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph
+pathGraph(NodeId num_nodes)
+{
+    std::vector<Edge> edges;
+    for (NodeId v = 1; v < num_nodes; ++v)
+        edges.emplace_back(v - 1, v);
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph
+starGraph(NodeId num_nodes)
+{
+    std::vector<Edge> edges;
+    for (NodeId v = 1; v < num_nodes; ++v)
+        edges.emplace_back(0, v);
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph
+completeGraph(NodeId num_nodes)
+{
+    std::vector<Edge> edges;
+    for (NodeId u = 0; u < num_nodes; ++u)
+        for (NodeId v = u + 1; v < num_nodes; ++v)
+            edges.emplace_back(u, v);
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+} // namespace igcn

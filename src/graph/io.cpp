@@ -1,0 +1,62 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace igcn {
+
+void
+saveEdgeList(const CsrGraph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    out << "# nodes " << g.numNodes() << "\n";
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        for (NodeId v : g.neighbors(u))
+            out << u << " " << v << "\n";
+}
+
+CsrGraph
+loadEdgeList(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::string hash, word;
+    NodeId num_nodes = 0;
+    if (!(in >> hash >> word >> num_nodes) || hash != "#" ||
+        word != "nodes") {
+        throw std::runtime_error("bad edge list header in " + path);
+    }
+    std::vector<Edge> edges;
+    NodeId u, v;
+    while (in >> u >> v)
+        edges.emplace_back(u, v);
+    // File already stores both arc directions; don't re-symmetrize so
+    // that directed test fixtures round-trip exactly.
+    return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/false,
+                               /*keep_self_loops=*/true);
+}
+
+void
+savePgm(const std::vector<double> &grid, int width, int height,
+        const std::string &path)
+{
+    if (static_cast<size_t>(width) * height != grid.size())
+        throw std::invalid_argument("grid size mismatch");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    out << "P5\n" << width << " " << height << "\n255\n";
+    for (double v : grid) {
+        double clamped = std::clamp(v, 0.0, 1.0);
+        auto pixel = static_cast<unsigned char>(
+            std::lround(255.0 * (1.0 - clamped)));
+        out.put(static_cast<char>(pixel));
+    }
+}
+
+} // namespace igcn

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Text edge-list I/O and PGM image output for density-grid figures.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace igcn {
+
+/** Write "u v" per line, preceded by a "# nodes N" header. */
+void saveEdgeList(const CsrGraph &g, const std::string &path);
+
+/** Load a graph saved by saveEdgeList. */
+CsrGraph loadEdgeList(const std::string &path);
+
+/**
+ * Write a grayscale PGM image of a density grid (row-major, values in
+ * [0, 1]; 0 = white, 1 = black so that non-zeros appear dark, as in
+ * the paper's adjacency-matrix figures).
+ */
+void savePgm(const std::vector<double> &grid, int width, int height,
+             const std::string &path);
+
+} // namespace igcn

@@ -1,0 +1,64 @@
+#include "reorder/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace igcn {
+
+ClusteringMetrics
+clusteringMetrics(const CsrGraph &g, const std::vector<NodeId> &perm,
+                  double band, int grid)
+{
+    ClusteringMetrics m;
+    const NodeId n = g.numNodes();
+    if (n == 0 || g.numEdges() == 0)
+        return m;
+
+    const auto band_width =
+        static_cast<int64_t>(std::max(1.0, band * n));
+    const double cell = static_cast<double>(grid) / n;
+    std::vector<uint64_t> grid_counts(
+        static_cast<size_t>(grid) * grid, 0);
+
+    uint64_t in_band = 0;
+    double spread_sum = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+        const int64_t ru = perm[u];
+        const int gr = std::min(grid - 1, static_cast<int>(ru * cell));
+        for (NodeId v : g.neighbors(u)) {
+            const int64_t rv = perm[v];
+            const int64_t dist = std::llabs(ru - rv);
+            if (dist <= band_width)
+                in_band++;
+            spread_sum += static_cast<double>(dist) / n;
+            const int gc =
+                std::min(grid - 1, static_cast<int>(rv * cell));
+            grid_counts[static_cast<size_t>(gr) * grid + gc]++;
+        }
+    }
+
+    const double nnz = static_cast<double>(g.numEdges());
+    m.bandFraction = in_band / nnz;
+    m.normalizedSpread = spread_sum / nnz;
+
+    size_t occupied = 0;
+    for (uint64_t c : grid_counts)
+        if (c > 0)
+            occupied++;
+    m.occupiedCellFraction =
+        static_cast<double>(occupied) / grid_counts.size();
+
+    // Share of non-zeros in the densest 5% of cells.
+    std::vector<uint64_t> sorted(grid_counts);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const size_t top = std::max<size_t>(1, sorted.size() / 20);
+    uint64_t dense_nnz = 0;
+    for (size_t i = 0; i < top; ++i)
+        dense_nnz += sorted[i];
+    m.nnzInDenseCells = dense_nnz / nnz;
+    return m;
+}
+
+} // namespace igcn

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Non-zero clustering quality metrics for Figure 13: how well does a
+ * node order concentrate the adjacency matrix's non-zeros? I-GCN's
+ * islandization is compared against the lightweight reorderings on
+ * these measures.
+ */
+
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace igcn {
+
+/** Clustering quality of an adjacency matrix under a permutation. */
+struct ClusteringMetrics
+{
+    /** Fraction of non-zeros within `band` of the diagonal. */
+    double bandFraction = 0.0;
+    /** Mean |row - col| distance of non-zeros, normalized by N. */
+    double normalizedSpread = 0.0;
+    /** Fraction of dense-block cells (grid cells above threshold)
+     *  that contain all the non-zeros; low = tight clustering. */
+    double occupiedCellFraction = 0.0;
+    /** Fraction of non-zeros falling in the top 5% densest cells. */
+    double nnzInDenseCells = 0.0;
+};
+
+/**
+ * Compute clustering metrics for graph g under permutation perm.
+ *
+ * @param band  diagonal band half-width as a fraction of N
+ * @param grid  density-grid resolution for the cell-based measures
+ */
+ClusteringMetrics clusteringMetrics(const CsrGraph &g,
+                                    const std::vector<NodeId> &perm,
+                                    double band = 0.05, int grid = 64);
+
+} // namespace igcn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The six lightweight graph reordering baselines of Section 4.5.
+ *
+ * These are software preprocessing passes run on the host CPU; the
+ * paper's Figure 12 compares their (measured) reordering latency plus
+ * AWB-GCN inference on the reordered graph against I-GCN's end-to-end
+ * runtime islandization. Implementations follow the descriptions in
+ * Balaji & Lucia (IISWC'18) and Faldu et al. (IISWC'19):
+ *
+ *  - HubSort: sort hot (above-average-degree) vertices by degree.
+ *  - HubCluster: segregate hot vertices first, preserve order inside
+ *    each partition (cheaper, coarser than HubSort).
+ *  - DBG (degree-based grouping): bucket vertices into power-of-two
+ *    degree groups, preserve order within groups.
+ *  - Rabbit-like: community-clustering order — union-find community
+ *    aggregation by descending edge locality, communities laid out
+ *    contiguously (the heaviest-weight, highest-quality baseline).
+ *  - DBG-HubSort / DBG-HubCluster: DBG applied to the hot groups of
+ *    the respective hub scheme.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace igcn {
+
+/** Reordering algorithms compared in Figure 12/13. */
+enum class ReorderAlgo
+{
+    Rabbit,
+    Dbg,
+    HubSort,
+    HubCluster,
+    DbgHubSort,
+    DbgHubCluster,
+};
+
+/** All algorithms in the paper's presentation order. */
+inline constexpr ReorderAlgo kAllReorderAlgos[] = {
+    ReorderAlgo::Rabbit,       ReorderAlgo::Dbg,
+    ReorderAlgo::HubSort,      ReorderAlgo::HubCluster,
+    ReorderAlgo::DbgHubSort,   ReorderAlgo::DbgHubCluster,
+};
+
+/** Display name ("rabbit", "dbg-hubsort", ...). */
+std::string reorderAlgoName(ReorderAlgo algo);
+
+/** Result of a reordering pass. */
+struct ReorderResult
+{
+    /** perm[v] = new position of node v. */
+    std::vector<NodeId> perm;
+    /** Host wall-clock time of the pass, microseconds. */
+    double reorderTimeUs = 0.0;
+};
+
+/** Run one reordering algorithm (timed). */
+ReorderResult reorderGraph(const CsrGraph &g, ReorderAlgo algo);
+
+} // namespace igcn

@@ -1,0 +1,44 @@
+#include "sim/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igcn {
+
+double
+DramModel::bytesPerCycle() const
+{
+    // GB/s divided by cycles/s gives bytes/cycle.
+    return config.bandwidthGBps * 1e9 / (config.coreClockMHz * 1e6);
+}
+
+Cycles
+DramModel::access(Cycles now, uint64_t bytes, AccessPattern pattern)
+{
+    // Random requests amortize their row-activation penalty with
+    // size: a 64-byte touch pays full randomEfficiency, a >=4 KiB
+    // burst approaches streaming efficiency even at a random address.
+    double eff = config.streamEfficiency;
+    if (pattern == AccessPattern::Random) {
+        const double frac =
+            std::min(1.0, static_cast<double>(bytes) / 4096.0);
+        eff = config.randomEfficiency +
+            (config.streamEfficiency - config.randomEfficiency) * frac;
+    }
+    const double cycles_needed =
+        static_cast<double>(bytes) / (bytesPerCycle() * eff);
+    const auto occupancy =
+        static_cast<Cycles>(std::ceil(cycles_needed));
+
+    const Cycles start = std::max(now, nextFree);
+    nextFree = start + occupancy;
+    cyclesBusy += occupancy;
+    bytesTransferred += bytes;
+    if (pattern == AccessPattern::Streaming)
+        bytesStreamed += bytes;
+    else
+        bytesRandom += bytes;
+    return nextFree + config.requestLatency;
+}
+
+} // namespace igcn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bounded FIFO queue used by the pipeline models (task queues, hub
+ * buffers, loop-back node-degree buffers).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+namespace igcn {
+
+/** Bounded FIFO with occupancy high-water tracking. */
+template <typename T>
+class BoundedFifo
+{
+  public:
+    explicit BoundedFifo(size_t capacity) : cap(capacity) {}
+
+    bool full() const { return items.size() >= cap; }
+    bool empty() const { return items.empty(); }
+    size_t size() const { return items.size(); }
+    size_t capacity() const { return cap; }
+    size_t highWater() const { return maxOccupancy; }
+
+    /** Push; @return false if full. */
+    bool
+    push(T item)
+    {
+        if (full())
+            return false;
+        items.push_back(std::move(item));
+        if (items.size() > maxOccupancy)
+            maxOccupancy = items.size();
+        return true;
+    }
+
+    /** Pop front element if any. */
+    std::optional<T>
+    pop()
+    {
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        return item;
+    }
+
+  private:
+    std::deque<T> items;
+    size_t cap;
+    size_t maxOccupancy = 0;
+};
+
+} // namespace igcn

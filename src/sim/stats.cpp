@@ -1,0 +1,29 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace igcn {
+
+double
+StatsRegistry::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return counters.count(name) > 0;
+}
+
+std::string
+StatsRegistry::toString() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : counters)
+        out << name << " " << value << "\n";
+    return out.str();
+}
+
+} // namespace igcn

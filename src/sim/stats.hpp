@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named statistics registry for simulation components, in the spirit
+ * of gem5's stats package: components register counters by name; the
+ * harness prints them uniformly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace igcn {
+
+/** A flat registry of named double-valued statistics. */
+class StatsRegistry
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void
+    add(const std::string &name, double delta)
+    {
+        counters[name] += delta;
+    }
+
+    /** Set the named counter. */
+    void
+    set(const std::string &name, double value)
+    {
+        counters[name] = value;
+    }
+
+    /** Value of a counter (0 if absent). */
+    double get(const std::string &name) const;
+
+    /** True if the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, double> &all() const { return counters; }
+
+    /** Render as "name value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> counters;
+};
+
+} // namespace igcn

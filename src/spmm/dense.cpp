@@ -1,0 +1,82 @@
+#include "spmm/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace igcn {
+
+void
+DenseMatrix::zero()
+{
+    std::fill(values.begin(), values.end(), 0.0f);
+}
+
+void
+DenseMatrix::fillRandom(Rng &rng, float scale)
+{
+    for (auto &v : values)
+        v = rng.nextFloat(scale);
+}
+
+size_t
+DenseMatrix::fillRandomSparse(Rng &rng, double density, float scale)
+{
+    size_t nnz = 0;
+    for (auto &v : values) {
+        if (rng.nextBool(density)) {
+            v = rng.nextFloat(scale);
+            if (v == 0.0f)
+                v = scale * 0.5f;
+            nnz++;
+        } else {
+            v = 0.0f;
+        }
+    }
+    return nnz;
+}
+
+size_t
+DenseMatrix::countNonZeros() const
+{
+    size_t nnz = 0;
+    for (float v : values)
+        if (v != 0.0f)
+            nnz++;
+    return nnz;
+}
+
+double
+maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument("shape mismatch in maxAbsDiff");
+    double best = 0.0;
+    for (size_t i = 0; i < a.data().size(); ++i)
+        best = std::max(best,
+                        std::fabs(static_cast<double>(a.data()[i]) -
+                                  static_cast<double>(b.data()[i])));
+    return best;
+}
+
+DenseMatrix
+gemm(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.rows())
+        throw std::invalid_argument("shape mismatch in gemm");
+    DenseMatrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t k = 0; k < a.cols(); ++k) {
+            float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            float *crow = c.row(i);
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+} // namespace igcn

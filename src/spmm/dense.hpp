@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Row-major dense float matrix, the operand type of the SpMM kernels
+ * and the GCN reference forward pass.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace igcn {
+
+/** Simple row-major dense matrix of floats. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+
+    DenseMatrix(size_t rows, size_t cols, float fill = 0.0f)
+        : numRows(rows), numCols(cols), values(rows * cols, fill)
+    {}
+
+    size_t rows() const { return numRows; }
+    size_t cols() const { return numCols; }
+
+    float &at(size_t r, size_t c) { return values[r * numCols + c]; }
+    float at(size_t r, size_t c) const { return values[r * numCols + c]; }
+
+    /** Pointer to the start of row r. */
+    float *row(size_t r) { return values.data() + r * numCols; }
+    const float *row(size_t r) const { return values.data() + r * numCols; }
+
+    const std::vector<float> &data() const { return values; }
+    std::vector<float> &data() { return values; }
+
+    /** Set every element to zero. */
+    void zero();
+
+    /** Fill with uniform values in [-scale, scale). */
+    void fillRandom(Rng &rng, float scale = 1.0f);
+
+    /**
+     * Fill with a sparse random pattern: each element is non-zero with
+     * probability density; non-zeros are uniform in [-scale, scale).
+     * @return the number of non-zeros placed.
+     */
+    size_t fillRandomSparse(Rng &rng, double density, float scale = 1.0f);
+
+    /** Number of non-zero elements. */
+    size_t countNonZeros() const;
+
+    bool operator==(const DenseMatrix &other) const = default;
+
+  private:
+    size_t numRows = 0;
+    size_t numCols = 0;
+    std::vector<float> values;
+};
+
+/** Largest absolute element-wise difference; matrices must be same shape. */
+double maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b);
+
+/** Dense matrix product C = A * B. */
+DenseMatrix gemm(const DenseMatrix &a, const DenseMatrix &b);
+
+} // namespace igcn

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sparse-dense matrix multiplication in the four dataflows the paper
+ * analyzes (Figure 2): PULL-Row-Wise, PULL-Inner-Product,
+ * PUSH-Column-Wise and PUSH-Outer-Product.
+ *
+ * All four compute the same product Xo = A * B; they differ in loop
+ * order and therefore in which operand is reused and which is accessed
+ * irregularly. Each kernel reports access counters that the Table 1
+ * benchmark turns into the paper's qualitative comparison.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "spmm/dense.hpp"
+
+namespace igcn {
+
+/** Sparse CSR matrix of floats (adjacency with normalization values). */
+struct CsrMatrix
+{
+    NodeId numRows = 0;
+    NodeId numCols = 0;
+    std::vector<EdgeId> rowPtr{0};
+    std::vector<NodeId> colIdx;
+    std::vector<float> values;
+
+    EdgeId nnz() const { return colIdx.size(); }
+
+    /** Unweighted adjacency (all values 1) from a graph. */
+    static CsrMatrix fromGraph(const CsrGraph &g);
+
+    /** Dense copy, for verification on small matrices only. */
+    DenseMatrix toDense() const;
+};
+
+/**
+ * Access counters for one SpMM execution. "Irregular" accesses are
+ * those whose address depends on a non-zero's coordinate (the ones
+ * that defeat caches); "streamed" accesses are sequential.
+ */
+struct SpmmCounters
+{
+    uint64_t macOps = 0;           ///< multiply-accumulate operations
+    uint64_t aReads = 0;           ///< non-zeros of A touched
+    uint64_t bStreamedReads = 0;   ///< sequential element reads of B
+    uint64_t bIrregularReads = 0;  ///< indexed element reads of B
+    uint64_t cStreamedWrites = 0;  ///< sequential element writes of Xo
+    uint64_t cIrregularWrites = 0; ///< indexed read-modify-writes of Xo
+
+    SpmmCounters &
+    operator+=(const SpmmCounters &o)
+    {
+        macOps += o.macOps;
+        aReads += o.aReads;
+        bStreamedReads += o.bStreamedReads;
+        bIrregularReads += o.bIrregularReads;
+        cStreamedWrites += o.cStreamedWrites;
+        cIrregularWrites += o.cIrregularWrites;
+        return *this;
+    }
+};
+
+/**
+ * PULL-Row-Wise (Figure 2-b1): rows of Xo produced in order; for each
+ * non-zero A(i,k), the entire row B(k,:) is fetched and accumulated.
+ */
+DenseMatrix spmmPullRowWise(const CsrMatrix &a, const DenseMatrix &b,
+                            SpmmCounters *counters = nullptr);
+
+/**
+ * PULL-Inner-Product (Figure 2-b2): output elements produced one
+ * channel at a time; B is fetched column-by-column.
+ */
+DenseMatrix spmmPullInnerProduct(const CsrMatrix &a, const DenseMatrix &b,
+                                 SpmmCounters *counters = nullptr);
+
+/**
+ * PUSH-Column-Wise (Figure 2-c1): outer loop over channels; each
+ * node broadcasts its channel-k feature to its neighbors; Xo is
+ * updated column by column.
+ */
+DenseMatrix spmmPushColumnWise(const CsrMatrix &a, const DenseMatrix &b,
+                               SpmmCounters *counters = nullptr);
+
+/**
+ * PUSH-Outer-Product (Figure 2-c2): non-zeros of A processed by
+ * column; each node's full feature row is broadcast to its neighbors
+ * and Xo rows are updated irregularly.
+ */
+DenseMatrix spmmPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b,
+                                 SpmmCounters *counters = nullptr);
+
+/** Sparse-times-dense where the left operand is a CSR feature matrix. */
+DenseMatrix csrTimesDense(const CsrMatrix &x, const DenseMatrix &w,
+                          SpmmCounters *counters = nullptr);
+
+/** Convert a dense matrix into CSR form (exact, drops zeros). */
+CsrMatrix denseToCsr(const DenseMatrix &m);
+
+} // namespace igcn

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Accelerator model tests: workload accounting identities, residency
+ * planning, timing-model monotonicity (more MACs / bandwidth never
+ * hurts), cross-platform ordering (the paper's headline shape), and
+ * the area/energy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/area.hpp"
+#include "accel/awbgcn_model.hpp"
+#include "accel/energy.hpp"
+#include "accel/hygcn_model.hpp"
+#include "accel/igcn_model.hpp"
+#include "accel/platform_models.hpp"
+
+namespace igcn {
+namespace {
+
+/** Small Cora-like fixture shared by the model tests. */
+class AccelTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        data = new DatasetGraph(buildDataset(Dataset::Cora, 0.5));
+        model = new ModelConfig(
+            modelConfig(Model::GCN, NetConfig::Algo, data->info));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete data;
+        delete model;
+        data = nullptr;
+        model = nullptr;
+    }
+
+    static DatasetGraph *data;
+    static ModelConfig *model;
+};
+
+DatasetGraph *AccelTest::data = nullptr;
+ModelConfig *AccelTest::model = nullptr;
+
+TEST_F(AccelTest, WorkloadAggBaselineIdentity)
+{
+    Workload wl = buildWorkload(*data, *model);
+    for (const LayerWork &l : wl.layers) {
+        EXPECT_EQ(l.aggregationOpsBase,
+                  wl.adjacencyNnzWithSelf *
+                      static_cast<uint64_t>(l.outChannels));
+        EXPECT_EQ(l.aggregationOpsOptimized, l.aggregationOpsBase);
+    }
+    // Aggregation is a modest share of total ops in combination-first
+    // order (paper: ~23% on average).
+    EXPECT_LT(wl.aggregationOpShare(), 0.6);
+    EXPECT_GT(wl.aggregationOpShare(), 0.01);
+}
+
+TEST_F(AccelTest, WorkloadOptimizedBelowBaselineWithIslands)
+{
+    auto isl = islandize(data->graph);
+    Workload wl = buildWorkload(*data, *model, &isl);
+    EXPECT_LT(wl.totalOpsOptimized(), wl.totalOpsBase());
+}
+
+TEST_F(AccelTest, ResidencyPlanRespectsBudget)
+{
+    Workload wl = buildWorkload(*data, *model);
+    ResidencyPlan big = planResidency(wl, 1e12);
+    EXPECT_TRUE(big.adjacency);
+    EXPECT_TRUE(big.features);
+    EXPECT_TRUE(big.weights);
+    ResidencyPlan none = planResidency(wl, 16.0);
+    EXPECT_FALSE(none.adjacency);
+    EXPECT_FALSE(none.features);
+    EXPECT_EQ(none.residentBytes, 0u);
+}
+
+TEST_F(AccelTest, IgcnFasterThanBaselines)
+{
+    HwConfig hw;
+    auto ig = simulateIgcn(*data, *model, hw);
+    auto awb = simulateAwbGcn(*data, *model, hw);
+    auto hy = simulateHyGcn(*data, *model);
+    auto cpu = simulateCpu(*data, *model, Framework::PyG);
+    auto gpu = simulateGpu(*data, *model, Framework::PyG);
+
+    // The paper's headline ordering.
+    EXPECT_LT(ig.latencyUs, awb.latencyUs);
+    EXPECT_LT(awb.latencyUs, hy.latencyUs);
+    EXPECT_LT(hy.latencyUs, gpu.latencyUs);
+    EXPECT_LT(gpu.latencyUs, cpu.latencyUs);
+}
+
+TEST_F(AccelTest, MoreMacsNeverSlower)
+{
+    HwConfig small, big;
+    small.numMacs = 1024;
+    big.numMacs = 8192;
+    auto a = simulateIgcn(*data, *model, small);
+    auto b = simulateIgcn(*data, *model, big);
+    EXPECT_GE(a.latencyUs, b.latencyUs * 0.99);
+}
+
+TEST_F(AccelTest, MoreBandwidthNeverSlower)
+{
+    HwConfig slow, fast;
+    slow.preloadOnChip = false;
+    slow.dram.bandwidthGBps = 12.0;
+    fast.preloadOnChip = false;
+    fast.dram.bandwidthGBps = 200.0;
+    auto a = simulateIgcn(*data, *model, slow);
+    auto b = simulateIgcn(*data, *model, fast);
+    EXPECT_GE(a.latencyUs, b.latencyUs * 0.99);
+}
+
+TEST_F(AccelTest, RingReductionHelps)
+{
+    HwConfig with_ring, without_ring;
+    without_ring.ringReduction = false;
+    auto a = simulateIgcn(*data, *model, with_ring);
+    auto b = simulateIgcn(*data, *model, without_ring);
+    EXPECT_LE(a.latencyUs, b.latencyUs * 1.001);
+}
+
+TEST_F(AccelTest, OffchipBytesIgcnCompetitive)
+{
+    HwConfig hw;
+    auto ig = simulateIgcn(*data, *model, hw);
+    auto cpu = simulateCpu(*data, *model, Framework::PyG);
+    EXPECT_LT(ig.offchipBytes, cpu.offchipBytes);
+}
+
+TEST_F(AccelTest, UtilizationInRange)
+{
+    HwConfig hw;
+    auto ig = simulateIgcn(*data, *model, hw);
+    EXPECT_GT(ig.utilization, 0.0);
+    EXPECT_LE(ig.utilization, 1.0);
+}
+
+TEST_F(AccelTest, EnergyPositiveAndConsistent)
+{
+    HwConfig hw;
+    auto ig = simulateIgcn(*data, *model, hw);
+    EXPECT_GT(ig.energyUJ, 0.0);
+    EXPECT_GT(ig.graphsPerKJ, 0.0);
+    // EE = 1 / (energy in kJ).
+    EXPECT_NEAR(ig.graphsPerKJ, 1.0 / (ig.energyUJ * 1e-6 / 1e3),
+                ig.graphsPerKJ * 1e-6);
+}
+
+TEST_F(AccelTest, SpeedupOverHelper)
+{
+    RunResult a, b;
+    a.latencyUs = 2.0;
+    b.latencyUs = 10.0;
+    EXPECT_DOUBLE_EQ(speedupOver(a, b), 5.0);
+    a.latencyUs = 0.0;
+    EXPECT_THROW(speedupOver(a, b), std::invalid_argument);
+}
+
+TEST(Area, DefaultBreakdownMatchesFigure11)
+{
+    HwConfig hw; // 4K MACs, 64 TP-BFS engines: the paper's config
+    AreaBreakdown bd = areaBreakdown(hw);
+    EXPECT_GT(bd.totalAlms(), 0.0);
+    const double locator = bd.groupShare("Locator");
+    const double consumer = bd.groupShare("Consumer");
+    EXPECT_NEAR(locator + consumer, 1.0, 1e-9);
+    // Paper: Locator 34%, Consumer 66%.
+    EXPECT_NEAR(locator, 0.34, 0.04);
+}
+
+TEST(Area, ScalesWithConfiguration)
+{
+    HwConfig base, more_macs, more_engines;
+    more_macs.numMacs = 8192;
+    more_engines.locator.p2 = 128;
+    auto b = areaBreakdown(base);
+    auto m = areaBreakdown(more_macs);
+    auto e = areaBreakdown(more_engines);
+    EXPECT_GT(m.groupAlms("Consumer"), b.groupAlms("Consumer"));
+    EXPECT_DOUBLE_EQ(m.groupAlms("Locator"), b.groupAlms("Locator"));
+    EXPECT_GT(e.groupAlms("Locator"), b.groupAlms("Locator"));
+}
+
+TEST(Energy, ComponentsAdditive)
+{
+    HwConfig hw;
+    RunResult r;
+    r.latencyUs = 100.0;
+    fillEnergy(r, hw, /*ops=*/0.0, /*dram_bytes=*/0.0);
+    double static_only = r.energyUJ;
+    fillEnergy(r, hw, 1e9, 0.0);
+    EXPECT_GT(r.energyUJ, static_only);
+    double with_ops = r.energyUJ;
+    fillEnergy(r, hw, 1e9, 1e9);
+    EXPECT_GT(r.energyUJ, with_ops);
+}
+
+TEST(Platforms, CpuMeasurementIsPositive)
+{
+    double macs_per_s = hostSpmmMacsPerSecond();
+    EXPECT_GT(macs_per_s, 1e6);
+    // Memoized: second call returns the identical value.
+    EXPECT_DOUBLE_EQ(hostSpmmMacsPerSecond(), macs_per_s);
+}
+
+TEST(Platforms, GpuPresetsDiffer)
+{
+    GpuConfig rtx = rtx8000Config();
+    EXPECT_EQ(rtx.name, "RTX8000");
+    EXPECT_NE(rtx.memoryGBps, GpuConfig{}.memoryGBps);
+}
+
+TEST(Report, TextTableFormatting)
+{
+    TextTable table({"a", "bb"});
+    table.addRow({"1", "2"});
+    std::string s = table.toString();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, FormatEng)
+{
+    EXPECT_EQ(formatEng(0.0), "0");
+    EXPECT_NE(formatEng(1234567.0).find("e"), std::string::npos);
+    EXPECT_EQ(formatEng(1.5, 2), "1.50");
+}
+
+} // namespace
+} // namespace igcn

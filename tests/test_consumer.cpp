@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Functional equivalence tests of the Island Consumer: redundancy
+ * removal must be lossless (paper Section 4.3), i.e., the island-based
+ * aggregation with pre-aggregation reuse and subtract-mode windows
+ * produces the same numbers as the reference SpMM, up to float
+ * reassociation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/consumer.hpp"
+#include "core/locator.hpp"
+#include "gcn/reference.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace igcn {
+namespace {
+
+constexpr double kTol = 2e-4;
+
+TEST(Consumer, AggregationMatchesBinarySpmm)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 400, .seed = 5});
+    const CsrGraph &g = hi.graph;
+    auto isl = islandize(g);
+
+    Rng rng(17);
+    DenseMatrix y(g.numNodes(), 8);
+    y.fillRandom(rng);
+
+    CsrMatrix a_bin = binaryAdjacencyWithSelfLoops(g);
+    DenseMatrix expected = spmmPullRowWise(a_bin, y);
+
+    for (bool adaptive : {false, true}) {
+        for (int k : {0, 2, 4, 8}) {
+            RedundancyConfig cfg;
+            cfg.adaptiveK = adaptive;
+            cfg.k = k;
+            DenseMatrix z = aggregateViaIslands(g, isl, y, cfg);
+            EXPECT_LT(maxAbsDiff(z, expected), kTol)
+                << "k=" << k << " adaptive=" << adaptive;
+        }
+    }
+}
+
+TEST(Consumer, OpAccountingMatchesExecution)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 600, .seed = 9});
+    const CsrGraph &g = hi.graph;
+    auto isl = islandize(g);
+
+    RedundancyConfig cfg;
+    AggOpStats exec_stats;
+    Rng rng(3);
+    DenseMatrix y(g.numNodes(), 4);
+    y.fillRandom(rng);
+    aggregateViaIslands(g, isl, y, cfg, &exec_stats);
+
+    PruningReport report = countPruning(g, isl, cfg);
+    EXPECT_EQ(exec_stats.baselineOps, report.islandOps.baselineOps);
+    EXPECT_EQ(exec_stats.optimizedOps(),
+              report.islandOps.optimizedOps());
+}
+
+TEST(Consumer, FullForwardMatchesReference)
+{
+    auto data = buildDataset(Dataset::Cora, 0.15);
+    const CsrGraph &g = data.graph;
+    auto isl = islandize(g);
+
+    Rng rng(21);
+    Features x = makeFeatures(g.numNodes(), 64, 0.05, rng);
+    ModelConfig mc;
+    mc.layers = {{64, 16}, {16, 7}};
+    auto weights = makeWeights(mc, rng);
+
+    DenseMatrix expected = referenceForward(g, x, weights);
+    RedundancyConfig cfg;
+    DenseMatrix actual = gcnForwardViaIslands(g, isl, x, weights, cfg);
+    EXPECT_LT(maxAbsDiff(actual, expected), kTol);
+}
+
+TEST(Consumer, SparseFeaturesForwardMatchesReference)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 300, .seed = 31});
+    const CsrGraph &g = hi.graph;
+    auto isl = islandize(g);
+
+    Rng rng(8);
+    Features x = makeFeatures(g.numNodes(), 512, 0.01, rng,
+                              /*force_sparse=*/true);
+    ASSERT_TRUE(x.sparse);
+    ModelConfig mc;
+    mc.layers = {{512, 8}, {8, 4}};
+    auto weights = makeWeights(mc, rng);
+
+    DenseMatrix expected = referenceForward(g, x, weights);
+    DenseMatrix actual =
+        gcnForwardViaIslands(g, isl, x, weights, RedundancyConfig{});
+    EXPECT_LT(maxAbsDiff(actual, expected), kTol);
+}
+
+TEST(Consumer, PruningBaselineEqualsAdjacencyNnz)
+{
+    // The baseline aggregation op count must equal nnz(A) + N (the +I
+    // self loops) — this proves the island bitmaps plus the inter-hub
+    // map cover every edge exactly once.
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        auto hi = hubAndIslandGraph({.numNodes = 800, .seed = seed});
+        const CsrGraph &g = hi.graph;
+        auto isl = islandize(g);
+        PruningReport report = countPruning(g, isl, {});
+        EXPECT_EQ(report.baselineAggOps(), g.numEdges() + g.numNodes());
+    }
+}
+
+TEST(Consumer, PruningIsNonNegativeWithAdaptiveK)
+{
+    auto hi = hubAndIslandGraph(
+        {.numNodes = 1000, .intraIslandProb = 0.8, .seed = 13});
+    auto isl = islandize(hi.graph);
+    RedundancyConfig cfg;
+    cfg.adaptiveK = true;
+    PruningReport report = countPruning(hi.graph, isl, cfg);
+    // adaptiveK includes the "no removal" option, so optimized ops can
+    // never exceed baseline.
+    EXPECT_LE(report.optimizedAggOps(), report.baselineAggOps());
+    EXPECT_GE(report.aggPruningRate(), 0.0);
+    // Dense planted islands must produce substantial pruning.
+    EXPECT_GT(report.aggPruningRate(), 0.15);
+}
+
+TEST(Consumer, DenseIslandPruningApproachesIdeal)
+{
+    // Hub H (node 0) attached to a 10-clique (nodes 1..10) plus six
+    // extra leaves to push H's degree above the clique's. The clique
+    // becomes one island with a near-all-ones bitmap; subtract mode
+    // collapses whole windows to a single pre-sum add.
+    std::vector<Edge> edges;
+    for (NodeId u = 1; u <= 10; ++u) {
+        edges.emplace_back(0, u);
+        for (NodeId v = u + 1; v <= 10; ++v)
+            edges.emplace_back(u, v);
+    }
+    for (NodeId leaf = 11; leaf < 17; ++leaf)
+        edges.emplace_back(0, leaf);
+    CsrGraph g = CsrGraph::fromEdges(17, edges);
+    LocatorConfig lcfg;
+    lcfg.initialThreshold = 12; // only H (degree 16) qualifies
+    auto isl = islandize(g, lcfg);
+    ASSERT_EQ(isl.role[0], NodeRole::Hub);
+
+    RedundancyConfig cfg;
+    cfg.adaptiveK = true;
+    PruningReport report = countPruning(g, isl, cfg);
+    EXPECT_GT(report.aggPruningRate(), 0.5);
+
+    // Losslessness on the same fixture.
+    Rng rng(4);
+    DenseMatrix y(17, 3);
+    y.fillRandom(rng);
+    CsrMatrix a_bin = binaryAdjacencyWithSelfLoops(g);
+    DenseMatrix expected = spmmPullRowWise(a_bin, y);
+    DenseMatrix actual = aggregateViaIslands(g, isl, y, cfg);
+    EXPECT_LT(maxAbsDiff(actual, expected), kTol);
+}
+
+TEST(Consumer, Figure7StyleExample)
+{
+    // Recreate the spirit of Figure 7: island nodes {b, c} and
+    // {d, e, f, g} are mutual shared neighbors; one hub H connected
+    // to the whole island (plus leaves so its degree dominates).
+    // Nodes: H=0, a=1, b=2, c=3, d=4, e=5, f=6, g=7, leaves 8..11.
+    std::vector<Edge> edges = {
+        {1, 2}, {1, 3},                      // a-b, a-c
+        {2, 4}, {2, 5}, {2, 6}, {2, 7},      // b-{d,e,f,g}
+        {3, 4}, {3, 5}, {3, 6}, {3, 7},      // c-{d,e,f,g}
+    };
+    for (NodeId v = 1; v <= 7; ++v)
+        edges.emplace_back(0, v);            // H-{a..g}
+    for (NodeId leaf = 8; leaf < 12; ++leaf)
+        edges.emplace_back(0, leaf);         // H's extra leaves
+    CsrGraph g = CsrGraph::fromEdges(12, edges);
+    LocatorConfig lcfg;
+    lcfg.initialThreshold = 8; // only H (degree 11) qualifies
+    auto isl = islandize(g, lcfg);
+
+    // H must be a hub; a..g one island; leaves singleton islands.
+    EXPECT_EQ(isl.role[0], NodeRole::Hub);
+    size_t big_islands = 0;
+    for (const Island &island : isl.islands) {
+        if (island.nodes.size() == 7u)
+            big_islands++;
+        else
+            EXPECT_EQ(island.nodes.size(), 1u);
+    }
+    EXPECT_EQ(big_islands, 1u);
+
+    RedundancyConfig cfg;
+    cfg.adaptiveK = false;
+    cfg.k = 4;
+    PruningReport with_removal = countPruning(g, isl, cfg);
+    // Shared-neighbor structure must yield a strictly cheaper plan.
+    EXPECT_LT(with_removal.optimizedAggOps(),
+              with_removal.baselineAggOps());
+
+    // And the numbers still match the reference exactly.
+    Rng rng(2);
+    DenseMatrix y(12, 5);
+    y.fillRandom(rng);
+    CsrMatrix a_bin = binaryAdjacencyWithSelfLoops(g);
+    DenseMatrix expected = spmmPullRowWise(a_bin, y);
+    DenseMatrix actual = aggregateViaIslands(g, isl, y, cfg);
+    EXPECT_LT(maxAbsDiff(actual, expected), kTol);
+}
+
+/** Property sweep: functional equivalence across regimes and k. */
+class ConsumerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>>
+{};
+
+TEST_P(ConsumerPropertyTest, LosslessAcrossRegimes)
+{
+    auto [nodes, intra, k] = GetParam();
+    HubIslandParams params;
+    params.numNodes = static_cast<NodeId>(nodes);
+    params.intraIslandProb = intra;
+    params.seed = static_cast<uint64_t>(nodes) ^ (k * 1315423911ull);
+    auto hi = hubAndIslandGraph(params);
+    auto isl = islandize(hi.graph);
+
+    Rng rng(static_cast<uint64_t>(k) + nodes);
+    DenseMatrix y(hi.graph.numNodes(), 6);
+    y.fillRandom(rng);
+
+    CsrMatrix a_bin = binaryAdjacencyWithSelfLoops(hi.graph);
+    DenseMatrix expected = spmmPullRowWise(a_bin, y);
+
+    RedundancyConfig cfg;
+    cfg.adaptiveK = false;
+    cfg.k = k;
+    DenseMatrix actual = aggregateViaIslands(hi.graph, isl, y, cfg);
+    EXPECT_LT(maxAbsDiff(actual, expected), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConsumerPropertyTest,
+    ::testing::Combine(::testing::Values(128, 512),
+                       ::testing::Values(0.3, 0.7),
+                       ::testing::Values(0, 2, 3, 4, 8, 16)));
+
+} // namespace
+} // namespace igcn

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the CSR graph substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace igcn {
+namespace {
+
+TEST(CsrGraph, EmptyGraph)
+{
+    CsrGraph g = CsrGraph::fromEdges(0, {});
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(CsrGraph, SingleEdgeSymmetrized)
+{
+    CsrGraph g = CsrGraph::fromEdges(3, {{0, 1}});
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(CsrGraph, DuplicateEdgesRemoved)
+{
+    CsrGraph g = CsrGraph::fromEdges(2, {{0, 1}, {0, 1}, {1, 0}});
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(CsrGraph, SelfLoopsDroppedByDefault)
+{
+    CsrGraph g = CsrGraph::fromEdges(2, {{0, 0}, {0, 1}});
+    EXPECT_EQ(g.numSelfLoops(), 0u);
+    CsrGraph g2 = CsrGraph::fromEdges(2, {{0, 0}, {0, 1}}, true, true);
+    EXPECT_EQ(g2.numSelfLoops(), 1u);
+}
+
+TEST(CsrGraph, NeighborsSorted)
+{
+    CsrGraph g = CsrGraph::fromEdges(5, {{2, 4}, {2, 0}, {2, 3}});
+    auto nbrs = g.neighbors(2);
+    ASSERT_EQ(nbrs.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(CsrGraph, OutOfRangeEdgeThrows)
+{
+    EXPECT_THROW(CsrGraph::fromEdges(2, {{0, 5}}), std::out_of_range);
+}
+
+TEST(CsrGraph, DegreeAndAverages)
+{
+    CsrGraph g = starGraph(5);
+    EXPECT_EQ(g.degree(0), 4u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.maxDegree(), 4u);
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 8.0 / 5.0);
+}
+
+TEST(CsrGraph, SymmetryDetected)
+{
+    CsrGraph sym = CsrGraph::fromEdges(3, {{0, 1}, {1, 2}});
+    EXPECT_TRUE(sym.isSymmetric());
+    CsrGraph asym = CsrGraph::fromEdges(3, {{0, 1}}, /*symmetrize=*/false);
+    EXPECT_FALSE(asym.isSymmetric());
+}
+
+TEST(CsrGraph, PermutedPreservesStructure)
+{
+    CsrGraph g = pathGraph(4); // 0-1-2-3
+    std::vector<NodeId> perm = {3, 2, 1, 0};
+    CsrGraph p = g.permuted(perm);
+    EXPECT_TRUE(p.hasEdge(3, 2));
+    EXPECT_TRUE(p.hasEdge(2, 1));
+    EXPECT_TRUE(p.hasEdge(1, 0));
+    EXPECT_EQ(p.numEdges(), g.numEdges());
+    // Degrees are preserved under relabeling.
+    for (NodeId v = 0; v < 4; ++v)
+        EXPECT_EQ(p.degree(perm[v]), g.degree(v));
+}
+
+TEST(CsrGraph, ToEdgesRoundTrip)
+{
+    CsrGraph g = completeGraph(5);
+    CsrGraph g2 = CsrGraph::fromEdges(5, g.toEdges(), false);
+    EXPECT_EQ(g, g2);
+}
+
+TEST(CsrGraph, DegreeHistogram)
+{
+    CsrGraph g = starGraph(5);
+    auto hist = degreeHistogram(g);
+    ASSERT_EQ(hist.size(), 5u);
+    EXPECT_EQ(hist[1], 4u);
+    EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(CsrGraph, ConnectedComponents)
+{
+    CsrGraph g = CsrGraph::fromEdges(6, {{0, 1}, {1, 2}, {4, 5}});
+    auto [comp, n] = connectedComponents(g);
+    EXPECT_EQ(n, 3u); // {0,1,2}, {3}, {4,5}
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[4], comp[5]);
+    EXPECT_NE(comp[0], comp[3]);
+    EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(Permutation, Validity)
+{
+    EXPECT_TRUE(isPermutation({2, 0, 1}));
+    EXPECT_FALSE(isPermutation({0, 0, 1}));
+    EXPECT_FALSE(isPermutation({0, 3, 1}));
+}
+
+TEST(Permutation, Inverse)
+{
+    std::vector<NodeId> perm = {2, 0, 1};
+    auto inv = inversePermutation(perm);
+    for (NodeId v = 0; v < 3; ++v)
+        EXPECT_EQ(inv[perm[v]], v);
+}
+
+} // namespace
+} // namespace igcn

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Incremental islandization tests: after arbitrary edge additions,
+ * the updated result must satisfy exactly the postconditions of a
+ * fresh run (full classification, cmax bounds, edge coverage), while
+ * islands untouched by the update survive verbatim and absorbed
+ * updates do no work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/incremental.hpp"
+#include "core/permute.hpp"
+#include "core/redundancy.hpp"
+#include "graph/generators.hpp"
+
+namespace igcn {
+namespace {
+
+/** Fresh-run postconditions on (g, isl). */
+void
+checkPostconditions(const CsrGraph &g, const IslandizationResult &isl,
+                    const LocatorConfig &cfg)
+{
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        EXPECT_NE(isl.role[v], NodeRole::Unclassified) << v;
+    for (const Island &island : isl.islands) {
+        EXPECT_GE(island.nodes.size(), 1u);
+        EXPECT_LE(island.nodes.size(), cfg.maxIslandSize);
+    }
+    // Coverage: classifyCoverage finds zero outliers and the pruning
+    // baseline identity holds (these jointly require the inter-hub
+    // map and island hub lists to be complete).
+    EXPECT_EQ(classifyCoverage(g, isl).outliers, 0u);
+    PruningReport report = countPruning(g, isl, {});
+    EXPECT_EQ(report.baselineAggOps(), g.numEdges() + g.numNodes());
+}
+
+/** Add edges to a graph, returning the new graph. */
+CsrGraph
+withEdges(const CsrGraph &g, const std::vector<Edge> &added)
+{
+    std::vector<Edge> all = g.toEdges();
+    for (const auto &e : added)
+        all.push_back(e);
+    return CsrGraph::fromEdges(g.numNodes(), all, /*symmetrize=*/true);
+}
+
+TEST(Incremental, InternalIslandEdgeAbsorbed)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 600, .seed = 4});
+    LocatorConfig cfg;
+    auto isl = islandize(hi.graph, cfg);
+
+    // Find an island with >= 2 nodes and add an internal edge.
+    const Island *target = nullptr;
+    for (const Island &island : isl.islands)
+        if (island.nodes.size() >= 3) {
+            target = &island;
+            break;
+        }
+    ASSERT_NE(target, nullptr);
+    std::vector<Edge> added{{target->nodes[0], target->nodes[2]}};
+    CsrGraph g2 = withEdges(hi.graph, added);
+
+    IncrementalStats stats;
+    auto updated = updateIslandization(g2, isl, added, cfg, &stats);
+    EXPECT_EQ(stats.islandsDissolved, 0u);
+    EXPECT_GE(stats.edgesAbsorbed, 1u);
+    EXPECT_EQ(updated.islands.size(), isl.islands.size());
+    checkPostconditions(g2, updated, cfg);
+}
+
+TEST(Incremental, CrossIslandEdgeRepairsLocally)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 1200, .seed = 9});
+    LocatorConfig cfg;
+    auto isl = islandize(hi.graph, cfg);
+
+    // Connect two distinct islands.
+    uint32_t ia = IslandizationResult::kNoIsland;
+    uint32_t ib = IslandizationResult::kNoIsland;
+    NodeId u = 0, v = 0;
+    for (NodeId n = 0; n < hi.graph.numNodes(); ++n) {
+        if (isl.role[n] != NodeRole::IslandNode)
+            continue;
+        if (ia == IslandizationResult::kNoIsland) {
+            ia = isl.islandOf[n];
+            u = n;
+        } else if (isl.islandOf[n] != ia) {
+            ib = isl.islandOf[n];
+            v = n;
+            break;
+        }
+    }
+    ASSERT_NE(ib, IslandizationResult::kNoIsland);
+
+    std::vector<Edge> added{{u, v}};
+    CsrGraph g2 = withEdges(hi.graph, added);
+    IncrementalStats stats;
+    auto updated = updateIslandization(g2, isl, added, cfg, &stats);
+    EXPECT_EQ(stats.islandsDissolved, 2u);
+    EXPECT_GT(stats.nodesReclassified, 0u);
+    checkPostconditions(g2, updated, cfg);
+
+    // Untouched islands survive verbatim: compare node multisets.
+    std::set<std::vector<NodeId>> old_islands, new_islands;
+    for (const Island &island : isl.islands)
+        if (!island.nodes.empty())
+            old_islands.insert(island.nodes);
+    for (const Island &island : updated.islands)
+        new_islands.insert(island.nodes);
+    size_t preserved = 0;
+    for (const auto &nodes : old_islands)
+        if (new_islands.count(nodes))
+            preserved++;
+    EXPECT_GE(preserved, old_islands.size() - 4);
+}
+
+TEST(Incremental, HubHubEdgeIsInterHub)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 800, .seed = 6});
+    LocatorConfig cfg;
+    auto isl = islandize(hi.graph, cfg);
+
+    std::vector<NodeId> hubs;
+    for (NodeId n = 0; n < hi.graph.numNodes(); ++n)
+        if (isl.role[n] == NodeRole::Hub)
+            hubs.push_back(n);
+    ASSERT_GE(hubs.size(), 2u);
+    // Pick a hub pair without an existing edge.
+    NodeId h1 = hubs[0], h2 = hubs[1];
+    for (size_t i = 1; i < hubs.size(); ++i) {
+        if (!hi.graph.hasEdge(h1, hubs[i])) {
+            h2 = hubs[i];
+            break;
+        }
+    }
+    std::vector<Edge> added{{h1, h2}};
+    CsrGraph g2 = withEdges(hi.graph, added);
+    IncrementalStats stats;
+    auto updated = updateIslandization(g2, isl, added, cfg, &stats);
+    EXPECT_EQ(stats.islandsDissolved, 0u);
+    checkPostconditions(g2, updated, cfg);
+}
+
+TEST(Incremental, RandomEdgeStream)
+{
+    // Property test: apply batches of random edges; postconditions
+    // hold after every batch.
+    auto hi = hubAndIslandGraph({.numNodes = 900, .seed = 42});
+    LocatorConfig cfg;
+    CsrGraph g = hi.graph;
+    auto isl = islandize(g, cfg);
+    Rng rng(17);
+
+    for (int batch = 0; batch < 6; ++batch) {
+        std::vector<Edge> added;
+        for (int e = 0; e < 12; ++e) {
+            NodeId u = static_cast<NodeId>(
+                rng.nextBounded(g.numNodes()));
+            NodeId v = static_cast<NodeId>(
+                rng.nextBounded(g.numNodes()));
+            if (u != v)
+                added.emplace_back(u, v);
+        }
+        CsrGraph g2 = withEdges(g, added);
+        isl = updateIslandization(g2, isl, added, cfg);
+        g = g2;
+        checkPostconditions(g, isl, cfg);
+    }
+}
+
+TEST(Incremental, MatchesFreshPruningQuality)
+{
+    // Incremental repair shouldn't leave meaningfully less pruning
+    // opportunity than a fresh run on the same final graph.
+    auto hi = hubAndIslandGraph(
+        {.numNodes = 1500, .intraIslandProb = 0.7, .seed = 23});
+    LocatorConfig cfg;
+    CsrGraph g = hi.graph;
+    auto isl = islandize(g, cfg);
+    Rng rng(5);
+    std::vector<Edge> added;
+    for (int e = 0; e < 40; ++e)
+        added.emplace_back(
+            static_cast<NodeId>(rng.nextBounded(g.numNodes())),
+            static_cast<NodeId>(rng.nextBounded(g.numNodes())));
+    std::erase_if(added, [](const Edge &e) {
+        return e.first == e.second;
+    });
+    CsrGraph g2 = withEdges(g, added);
+    auto incremental = updateIslandization(g2, isl, added, cfg);
+    auto fresh = islandize(g2, cfg);
+    double inc_rate =
+        countPruning(g2, incremental, {}).aggPruningRate();
+    double fresh_rate = countPruning(g2, fresh, {}).aggPruningRate();
+    EXPECT_GT(inc_rate, fresh_rate - 0.08);
+}
+
+} // namespace
+} // namespace igcn

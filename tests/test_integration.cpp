@@ -1,0 +1,154 @@
+/**
+ * @file
+ * End-to-end integration tests crossing every module boundary: a
+ * dataset surrogate flows through islandization, functional
+ * inference, op accounting, the timing models, the permutation
+ * renderer and the reordering baselines, with the cross-module
+ * consistency conditions checked at every junction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/awbgcn_model.hpp"
+#include "accel/hygcn_model.hpp"
+#include "accel/igcn_model.hpp"
+#include "accel/platform_models.hpp"
+#include "core/consumer.hpp"
+#include "core/permute.hpp"
+#include "gcn/variants.hpp"
+#include "graph/datasets.hpp"
+#include "reorder/metrics.hpp"
+#include "reorder/reorder.hpp"
+
+namespace igcn {
+namespace {
+
+TEST(Integration, CoraPipeline)
+{
+    // Build -> islandize -> count -> simulate, with every
+    // cross-module consistency condition checked.
+    auto data = buildDataset(Dataset::Cora, 0.3);
+    auto isl = islandize(data.graph);
+
+    // Structure side.
+    ClusterCoverage cov = classifyCoverage(data.graph, isl);
+    EXPECT_EQ(cov.outliers, 0u);
+    PruningReport pruning = countPruning(data.graph, isl, {});
+    EXPECT_EQ(pruning.baselineAggOps(),
+              data.numEdges() + data.numNodes());
+
+    // Functional side.
+    Rng rng(1);
+    Features x = makeFeatures(data.numNodes(), 128, 0.05, rng);
+    ModelConfig mc;
+    mc.layers = {{128, 16}, {16, 7}};
+    auto weights = makeWeights(mc, rng);
+    DenseMatrix golden = referenceForward(data.graph, x, weights);
+    AggOpStats exec;
+    DenseMatrix island_out =
+        gcnForwardViaIslands(data.graph, isl, x, weights, {}, &exec);
+    EXPECT_LT(maxAbsDiff(island_out, golden), 2e-4);
+
+    // Executed op accounting matches the static accounting (two
+    // layers, same structure).
+    EXPECT_EQ(exec.baselineOps,
+              2 * pruning.islandOps.baselineOps);
+
+    // Timing side: ordering across platforms.
+    HwConfig hw;
+    ModelConfig full = modelConfig(Model::GCN, NetConfig::Algo,
+                                   data.info);
+    RunResult ig = simulateIgcn(data, full, hw, &isl);
+    RunResult awb = simulateAwbGcn(data, full, hw);
+    RunResult hy = simulateHyGcn(data, full);
+    EXPECT_LT(ig.latencyUs, awb.latencyUs);
+    EXPECT_LT(ig.latencyUs, hy.latencyUs);
+    EXPECT_GT(ig.graphsPerKJ, awb.graphsPerKJ);
+
+    // Workload consistency: the simulator's optimized op count can
+    // never exceed the baseline accounting.
+    EXPECT_LE(ig.stats.get("opsOptimized"), ig.stats.get("opsBase"));
+}
+
+TEST(Integration, ParallelLocatorFeedsConsumerLosslessly)
+{
+    auto data = buildDataset(Dataset::Citeseer, 0.2);
+    LocatorConfig lcfg;
+    lcfg.parallelEngines = true;
+    lcfg.p2 = 32;
+    auto isl = islandize(data.graph, lcfg);
+
+    Rng rng(9);
+    Features x = makeFeatures(data.numNodes(), 64, 0.05, rng);
+    ModelConfig mc;
+    mc.layers = {{64, 8}, {8, 6}};
+    auto weights = makeWeights(mc, rng);
+    DenseMatrix golden = referenceForward(data.graph, x, weights);
+    DenseMatrix island_out =
+        gcnForwardViaIslands(data.graph, isl, x, weights, {});
+    EXPECT_LT(maxAbsDiff(island_out, golden), 2e-4);
+}
+
+TEST(Integration, ReorderedGraphStillIslandizes)
+{
+    // Islandization composes with any prior relabeling: reorder the
+    // graph, islandize the result, coverage still exact.
+    auto data = buildDataset(Dataset::Cora, 0.2);
+    for (ReorderAlgo algo : {ReorderAlgo::Rabbit, ReorderAlgo::Dbg}) {
+        ReorderResult rr = reorderGraph(data.graph, algo);
+        CsrGraph permuted = data.graph.permuted(rr.perm);
+        auto isl = islandize(permuted);
+        EXPECT_EQ(classifyCoverage(permuted, isl).outliers, 0u);
+        // Pruning opportunity is invariant under relabeling.
+        PruningReport a = countPruning(data.graph,
+                                       islandize(data.graph), {});
+        PruningReport b = countPruning(permuted, isl, {});
+        EXPECT_NEAR(a.aggPruningRate(), b.aggPruningRate(), 0.08);
+    }
+}
+
+TEST(Integration, AllVariantsAllPlatformsRun)
+{
+    auto data = buildDataset(Dataset::Pubmed, 0.1);
+    HwConfig hw;
+    for (Model m : {Model::GCN, Model::GraphSage, Model::GIN}) {
+        for (NetConfig net : {NetConfig::Algo, NetConfig::Hy}) {
+            ModelConfig mc = modelConfig(m, net, data.info);
+            RunResult ig = simulateIgcn(data, mc, hw);
+            RunResult awb = simulateAwbGcn(data, mc, hw);
+            RunResult hy = simulateHyGcn(data, mc);
+            RunResult cpu = simulateCpu(data, mc, Framework::DGL);
+            RunResult gpu = simulateGpu(data, mc, Framework::DGL);
+            RunResult sig = simulateSigma(data, mc);
+            for (const RunResult *r :
+                 {&ig, &awb, &hy, &cpu, &gpu, &sig}) {
+                EXPECT_GT(r->latencyUs, 0.0) << r->platform;
+                EXPECT_GT(r->computeOps, 0.0) << r->platform;
+                EXPECT_GT(r->graphsPerKJ, 0.0) << r->platform;
+            }
+            // I-GCN leads the accelerator pack on community graphs.
+            EXPECT_LT(ig.latencyUs, awb.latencyUs) << mc.name;
+        }
+    }
+}
+
+TEST(Integration, RenderArtifactsConsistent)
+{
+    auto data = buildDataset(Dataset::Cora, 0.2);
+    auto isl = islandize(data.graph);
+    auto perm = islandizationOrder(isl);
+    ASSERT_TRUE(isPermutation(perm));
+    auto grid = renderDensityGrid(data.graph, perm, 32);
+    // Total mass in the grid equals nnz (before normalization the
+    // renderer counts every edge exactly once; after normalization
+    // the max is 1 and nothing is lost).
+    double max_v = 0.0;
+    for (double v : grid)
+        max_v = std::max(max_v, v);
+    EXPECT_DOUBLE_EQ(max_v, 1.0);
+    auto metrics = clusteringMetrics(data.graph, perm);
+    EXPECT_GT(metrics.nnzInDenseCells, 0.3);
+}
+
+} // namespace
+} // namespace igcn

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * igcn — command-line front end to the library.
+ *
+ * Subcommands:
+ *   generate   synthesize a graph (hub-island / er / rmat) to a file
+ *   info       print statistics of a graph file
+ *   islandize  run runtime islandization, print stats, render plots
+ *   reorder    apply a lightweight reordering, write the new graph
+ *   simulate   run a platform timing model on a dataset or graph file
+ *
+ * Examples:
+ *   igcn generate --type hubisland --nodes 5000 --out g.txt
+ *   igcn islandize --in g.txt --render order.pgm
+ *   igcn simulate --dataset cora --model gcn --net algo
+ *   igcn simulate --in g.txt --platform awb
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "accel/awbgcn_model.hpp"
+#include "accel/hygcn_model.hpp"
+#include "accel/igcn_model.hpp"
+#include "accel/platform_models.hpp"
+#include "core/permute.hpp"
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "reorder/reorder.hpp"
+
+using namespace igcn;
+
+namespace {
+
+/** Minimal --flag value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) == 0 && i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values[key.substr(2)] = argv[++i];
+            } else if (key.rfind("--", 0) == 0) {
+                values[key.substr(2)] = "1";
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    bool has(const std::string &key) const { return values.count(key); }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : std::stol(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : std::stod(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: igcn <command> [options]\n"
+        "  generate  --type hubisland|er|rmat --nodes N [--seed S]\n"
+        "            [--avg-degree D] --out FILE\n"
+        "  info      --in FILE\n"
+        "  islandize --in FILE [--cmax N] [--decay D] [--th0 T]\n"
+        "            [--parallel] [--render FILE.pgm]\n"
+        "  reorder   --in FILE --algo rabbit|dbg|hubsort|hubcluster|\n"
+        "            dbg-hubsort|dbg-hubcluster --out FILE\n"
+        "  simulate  (--dataset cora|citeseer|pubmed|nell|reddit\n"
+        "            [--scale F] | --in FILE) [--model gcn|gs|gin]\n"
+        "            [--net algo|hy]\n"
+        "            [--platform igcn|awb|hygcn|cpu|gpu|sigma]\n");
+    return 2;
+}
+
+CsrGraph
+loadGraphArg(const Args &args)
+{
+    std::string path = args.get("in");
+    if (path.empty())
+        throw std::runtime_error("--in FILE is required");
+    return loadEdgeList(path);
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const std::string type = args.get("type", "hubisland");
+    const auto nodes =
+        static_cast<NodeId>(args.getInt("nodes", 1000));
+    const auto seed = static_cast<uint64_t>(args.getInt("seed", 42));
+    const std::string out = args.get("out");
+    if (out.empty())
+        throw std::runtime_error("--out FILE is required");
+
+    CsrGraph g;
+    if (type == "hubisland") {
+        HubIslandParams params;
+        params.numNodes = nodes;
+        params.seed = seed;
+        g = hubAndIslandGraph(params).graph;
+    } else if (type == "er") {
+        g = erdosRenyi(nodes, args.getDouble("avg-degree", 8.0), seed);
+    } else if (type == "rmat") {
+        g = rmat(nodes,
+                 static_cast<EdgeId>(
+                     nodes * args.getDouble("avg-degree", 8.0)),
+                 0.57, 0.19, 0.19, seed);
+    } else {
+        throw std::runtime_error("unknown --type " + type);
+    }
+    saveEdgeList(g, out);
+    std::printf("wrote %s: %u nodes, %llu directed edges\n",
+                out.c_str(), g.numNodes(),
+                static_cast<unsigned long long>(g.numEdges()));
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    CsrGraph g = loadGraphArg(args);
+    auto [comp, num_comps] = connectedComponents(g);
+    std::printf("nodes %u\nedges %llu\navg degree %.2f\n"
+                "max degree %u\nsymmetric %s\ncomponents %u\n",
+                g.numNodes(),
+                static_cast<unsigned long long>(g.numEdges()),
+                g.avgDegree(), g.maxDegree(),
+                g.isSymmetric() ? "yes" : "no", num_comps);
+    return 0;
+}
+
+int
+cmdIslandize(const Args &args)
+{
+    CsrGraph g = loadGraphArg(args);
+    LocatorConfig cfg;
+    cfg.maxIslandSize =
+        static_cast<NodeId>(args.getInt("cmax", cfg.maxIslandSize));
+    cfg.decay = args.getDouble("decay", cfg.decay);
+    cfg.initialThreshold =
+        static_cast<NodeId>(args.getInt("th0", 0));
+    cfg.parallelEngines = args.has("parallel");
+
+    IslandizationResult isl = islandize(g, cfg);
+    PruningReport pruning = countPruning(g, isl, {});
+    ClusterCoverage cov = classifyCoverage(g, isl);
+
+    std::printf("rounds %d\nhubs %u\nislands %zu\n"
+                "inter-hub edges %zu\n",
+                isl.numRounds, isl.numHubs(), isl.islands.size(),
+                isl.interHubEdges.size());
+    std::printf("coverage: L-shape %.2f%%, island blocks %.2f%%, "
+                "outliers %llu\n",
+                100.0 * cov.inHubLShape / std::max<EdgeId>(1, cov.total),
+                100.0 * cov.inIslandBlock /
+                    std::max<EdgeId>(1, cov.total),
+                static_cast<unsigned long long>(cov.outliers));
+    std::printf("aggregation pruning %.1f%% (baseline %llu ops -> "
+                "%llu)\n",
+                100.0 * pruning.aggPruningRate(),
+                static_cast<unsigned long long>(
+                    pruning.baselineAggOps()),
+                static_cast<unsigned long long>(
+                    pruning.optimizedAggOps()));
+
+    const std::string render = args.get("render");
+    if (!render.empty()) {
+        constexpr int kGrid = 64;
+        auto grid = renderDensityGrid(g, islandizationOrder(isl),
+                                      kGrid);
+        savePgm(grid, kGrid, kGrid, render);
+        std::printf("wrote density plot %s\n", render.c_str());
+    }
+    return 0;
+}
+
+int
+cmdReorder(const Args &args)
+{
+    CsrGraph g = loadGraphArg(args);
+    const std::string name = args.get("algo", "rabbit");
+    const std::string out = args.get("out");
+    if (out.empty())
+        throw std::runtime_error("--out FILE is required");
+
+    for (ReorderAlgo algo : kAllReorderAlgos) {
+        if (reorderAlgoName(algo) == name) {
+            ReorderResult rr = reorderGraph(g, algo);
+            saveEdgeList(g.permuted(rr.perm), out);
+            std::printf("%s reordering took %.1f us; wrote %s\n",
+                        name.c_str(), rr.reorderTimeUs, out.c_str());
+            return 0;
+        }
+    }
+    throw std::runtime_error("unknown --algo " + name);
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    DatasetGraph data;
+    if (args.has("dataset")) {
+        const std::string name = args.get("dataset");
+        Dataset d;
+        if (name == "cora") d = Dataset::Cora;
+        else if (name == "citeseer") d = Dataset::Citeseer;
+        else if (name == "pubmed") d = Dataset::Pubmed;
+        else if (name == "nell") d = Dataset::Nell;
+        else if (name == "reddit") d = Dataset::Reddit;
+        else throw std::runtime_error("unknown --dataset " + name);
+        data = buildDataset(d, args.getDouble("scale", 1.0));
+    } else {
+        CsrGraph g = loadGraphArg(args);
+        data.info = {"custom", "CU", g.numNodes(), g.numEdges(),
+                     static_cast<int>(args.getInt("features", 128)),
+                     static_cast<int>(args.getInt("classes", 8)),
+                     args.getDouble("density", 0.1), 1.0};
+        data.featureNnz = static_cast<EdgeId>(
+            static_cast<double>(g.numNodes()) * data.info.numFeatures *
+            data.info.featureDensity);
+        data.graph = std::move(g);
+    }
+
+    const std::string model_name = args.get("model", "gcn");
+    Model m = model_name == "gs" ? Model::GraphSage
+            : model_name == "gin" ? Model::GIN
+            : Model::GCN;
+    NetConfig net =
+        args.get("net", "algo") == "hy" ? NetConfig::Hy
+                                        : NetConfig::Algo;
+    ModelConfig mc = modelConfig(m, net, data.info);
+
+    const std::string platform = args.get("platform", "igcn");
+    HwConfig hw;
+    RunResult r;
+    if (platform == "igcn") r = simulateIgcn(data, mc, hw);
+    else if (platform == "awb") r = simulateAwbGcn(data, mc, hw);
+    else if (platform == "hygcn") r = simulateHyGcn(data, mc);
+    else if (platform == "cpu")
+        r = simulateCpu(data, mc, Framework::PyG);
+    else if (platform == "gpu")
+        r = simulateGpu(data, mc, Framework::PyG);
+    else if (platform == "sigma") r = simulateSigma(data, mc);
+    else throw std::runtime_error("unknown --platform " + platform);
+
+    std::printf("platform %s\ndataset %s\nmodel %s\n"
+                "latency %.3f us\nenergy %.3f uJ\nEE %.3e Graph/kJ\n"
+                "off-chip bytes %.3e\ncompute ops %.3e\n",
+                r.platform.c_str(), r.dataset.c_str(),
+                r.model.c_str(), r.latencyUs, r.energyUJ,
+                r.graphsPerKJ, r.offchipBytes, r.computeOps);
+    if (!r.stats.all().empty())
+        std::printf("--- detail ---\n%s", r.stats.toString().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    Args args(argc, argv);
+    try {
+        if (cmd == "generate") return cmdGenerate(args);
+        if (cmd == "info") return cmdInfo(args);
+        if (cmd == "islandize") return cmdIslandize(args);
+        if (cmd == "reorder") return cmdReorder(args);
+        if (cmd == "simulate") return cmdSimulate(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "igcn %s: %s\n", cmd.c_str(), e.what());
+        return 1;
+    }
+    return usage();
+}
