@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Parallel-scaling sweep of the island-aware execution engine.
+ *
+ * Runs the three hot kernels (island aggregation, PULL-row-wise SpMM,
+ * dense GEMM) plus the end-to-end two-layer forward pass on the
+ * synthetic hub-and-island dataset family, sweeping the thread-pool
+ * worker count 1..N. Prints a speedup table and writes
+ * machine-readable results to BENCH_parallel.json.
+ *
+ * Usage: bench_parallel_scaling [--max-threads=N] [--quick]
+ *   --max-threads=N  cap the sweep (default: max(4, hardware))
+ *   --quick          smallest dataset only, one reptition per point
+ *                    (the CI smoke configuration)
+ */
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "core/consumer.hpp"
+#include "gcn/reference.hpp"
+#include "graph/generators.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spmm/spmm.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+namespace {
+
+constexpr int kChannels = 64;
+
+struct ScalingCase
+{
+    std::string name;
+    CsrGraph graph;
+    IslandizationResult islands;
+};
+
+ScalingCase
+makeCase(const char *name, NodeId nodes, uint64_t seed)
+{
+    HubIslandParams p;
+    p.numNodes = nodes;
+    p.seed = seed;
+    ScalingCase c;
+    c.name = name;
+    c.graph = hubAndIslandGraph(p).graph;
+    c.islands = islandize(c.graph);
+    return c;
+}
+
+/** Best-of-reps wall time of fn(), in seconds. */
+template <typename Fn>
+double
+timeBest(int reps, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double>(t1 - t0).count();
+        best = std::min(best, s);
+    }
+    return best;
+}
+
+struct KernelResult
+{
+    std::string kernel;
+    std::vector<int> threads;
+    std::vector<double> seconds;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int max_threads = 0;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--max-threads=", 14) == 0)
+            max_threads = std::atoi(argv[i] + 14);
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+    const int hw = static_cast<int>(
+        std::thread::hardware_concurrency());
+    if (max_threads < 1)
+        max_threads = std::max(4, hw);
+    const int reps = quick ? 1 : 3;
+
+    banner("Parallel scaling",
+           "Thread-pool sweep of the island-aware execution engine");
+    std::printf("hardware_concurrency=%d, sweep 1..%d threads, "
+                "best of %d rep(s)\n\n", hw, max_threads, reps);
+
+    std::vector<int> thread_counts;
+    for (int t = 1; t <= max_threads; t *= 2)
+        thread_counts.push_back(t);
+    if (thread_counts.back() != max_threads)
+        thread_counts.push_back(max_threads);
+
+    std::vector<ScalingCase> cases;
+    cases.push_back(makeCase("hub-island-small", 4000, 11));
+    if (!quick) {
+        cases.push_back(makeCase("hub-island-medium", 20000, 12));
+        cases.push_back(makeCase("hub-island-large", 60000, 13));
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("parallel_scaling");
+    json.key("hardware_concurrency").value(hw);
+    json.key("channels").value(kChannels);
+    json.key("reps").value(reps);
+    json.key("quick").value(quick);
+    json.key("datasets").beginArray();
+
+    for (const ScalingCase &c : cases) {
+        const NodeId n = c.graph.numNodes();
+        Rng rng(101);
+        DenseMatrix y(n, kChannels);
+        y.fillRandom(rng);
+        CsrMatrix a = CsrMatrix::fromGraph(c.graph);
+        DenseMatrix w1(kChannels, kChannels), w2(kChannels, 16);
+        w1.fillRandom(rng, 0.5f);
+        w2.fillRandom(rng, 0.5f);
+        Features x;
+        x.dense = y;
+        const std::vector<DenseMatrix> weights{w1, w2};
+        const RedundancyConfig cfg;
+
+        std::printf("--- %s: %u nodes, %llu edges, %zu islands, "
+                    "%u hubs ---\n", c.name.c_str(), n,
+                    static_cast<unsigned long long>(c.graph.numEdges()),
+                    c.islands.islands.size(), c.islands.numHubs());
+
+        std::vector<KernelResult> results;
+        results.push_back({"aggregateViaIslands", {}, {}});
+        results.push_back({"spmmPullRowWise", {}, {}});
+        results.push_back({"gemm", {}, {}});
+        results.push_back({"gcnForwardViaIslands", {}, {}});
+
+        for (int t : thread_counts) {
+            setGlobalThreads(t);
+            const double agg = timeBest(reps, [&] {
+                aggregateViaIslands(c.graph, c.islands, y, cfg);
+            });
+            const double spmm = timeBest(reps, [&] {
+                spmmPullRowWise(a, y, nullptr);
+            });
+            const double mm = timeBest(reps, [&] {
+                gemm(y, w1);
+            });
+            const double fwd = timeBest(reps, [&] {
+                gcnForwardViaIslands(c.graph, c.islands, x, weights,
+                                     cfg);
+            });
+            const double secs[] = {agg, spmm, mm, fwd};
+            for (size_t k = 0; k < results.size(); ++k) {
+                results[k].threads.push_back(t);
+                results[k].seconds.push_back(secs[k]);
+            }
+        }
+        setGlobalThreads(0);
+
+        json.beginObject();
+        json.key("name").value(c.name);
+        json.key("nodes").value(static_cast<uint64_t>(n));
+        json.key("edges").value(
+            static_cast<uint64_t>(c.graph.numEdges()));
+        json.key("islands").value(
+            static_cast<uint64_t>(c.islands.islands.size()));
+        json.key("hubs").value(
+            static_cast<uint64_t>(c.islands.numHubs()));
+        json.key("kernels").beginArray();
+
+        std::printf("%-22s", "kernel");
+        for (int t : thread_counts)
+            std::printf("  %7dT", t);
+        std::printf("  speedup@max\n");
+        for (const KernelResult &kr : results) {
+            json.beginObject();
+            json.key("kernel").value(kr.kernel);
+            json.key("results").beginArray();
+            std::printf("%-22s", kr.kernel.c_str());
+            const double base = kr.seconds.front();
+            for (size_t i = 0; i < kr.threads.size(); ++i) {
+                std::printf("  %7.2fms", kr.seconds[i] * 1e3);
+                json.beginObject();
+                json.key("threads").value(kr.threads[i]);
+                json.key("seconds").value(kr.seconds[i]);
+                json.key("speedup").value(
+                    kr.seconds[i] > 0.0 ? base / kr.seconds[i] : 0.0);
+                json.endObject();
+            }
+            std::printf("  %8.2fx\n",
+                        kr.seconds.back() > 0.0
+                            ? base / kr.seconds.back() : 0.0);
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        std::printf("\n");
+    }
+
+    json.endArray();
+    json.endObject();
+
+    const char *out_path = "BENCH_parallel.json";
+    if (json.writeFile(out_path))
+        std::printf("Wrote %s\n", out_path);
+    else
+        std::printf("WARNING: could not write %s\n", out_path);
+
+    std::printf("\nNote: speedups are bounded by the machine's "
+                "physical core count (%d detected); the parity "
+                "guarantees are checked by tests/test_runtime.cpp at "
+                "any thread count.\n", hw);
+    return 0;
+}

@@ -1,6 +1,9 @@
 #include "core/consumer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
 
 namespace igcn {
 
@@ -8,11 +11,21 @@ namespace {
 
 /**
  * Evaluate one island task: combination results of the local columns
- * are rows of y; produce aggregation updates into z.
+ * are rows of y; produce aggregation updates into z (island-node
+ * rows) and hub_partial (hub rows, indexed by hub_index).
+ *
+ * Island-node rows belong to exactly one island, so they are written
+ * straight into z without synchronization. Hub rows are the only
+ * cross-island accumulations (the DHUB-PRC in hardware); each worker
+ * collects them in its own hub_partial buffer and the caller merges
+ * the buffers afterwards in worker-index order, which keeps the
+ * reduction order deterministic for a given thread count.
  */
 void
 evaluateIsland(const CsrGraph &g, const Island &island,
                const DenseMatrix &y, DenseMatrix &z,
+               DenseMatrix &hub_partial,
+               const std::vector<uint32_t> &hub_index,
                const RedundancyConfig &cfg, AggOpStats *stats,
                bool include_self_loops)
 {
@@ -48,12 +61,22 @@ evaluateIsland(const CsrGraph &g, const Island &island,
         }
     }
 
-    // Scan every row; island-node rows produce complete outputs, hub
-    // rows produce partial sums accumulated into z (the DHUB-PRC in
-    // hardware; a plain accumulation here since each bitmap bit is
-    // visited exactly once across all tasks).
+    // Scan every row; island-node rows produce complete outputs
+    // written directly, hub rows produce partial sums accumulated
+    // into this worker's hub buffer.
     for (int r = 0; r < bm.height(); ++r) {
-        float *out = z.row(col_node[r]);
+        float *out;
+        if (r < bm.numNodes) {
+            out = z.row(col_node[r]);
+        } else {
+            const uint32_t hi = hub_index[col_node[r]];
+            // A hubs-list entry whose role is not Hub would index the
+            // kNotHub sentinel: fail loudly instead of corrupting.
+            if (hi == ~uint32_t{0})
+                throw std::logic_error(
+                    "island hubs list names a non-hub node");
+            out = hub_partial.row(hi);
+        }
         if (k < 2) {
             for (int c = 0; c < width; ++c) {
                 if (!bm.test(r, c)) continue;
@@ -104,13 +127,63 @@ aggregateViaIslands(const CsrGraph &g, const IslandizationResult &isl,
     if (y.rows() != g.numNodes())
         throw std::invalid_argument("y row count != node count");
     DenseMatrix z(y.rows(), y.cols());
+    const size_t channels = y.cols();
 
-    for (const Island &island : isl.islands)
-        evaluateIsland(g, island, y, z, cfg, stats,
-                       include_self_loops);
+    // Compact hub indexing: hub h occupies row hub_index[h] of every
+    // per-worker partial buffer.
+    constexpr uint32_t kNotHub = ~uint32_t{0};
+    std::vector<uint32_t> hub_index(g.numNodes(), kNotHub);
+    std::vector<NodeId> hub_ids;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (isl.role[v] == NodeRole::Hub) {
+            hub_index[v] = static_cast<uint32_t>(hub_ids.size());
+            hub_ids.push_back(v);
+        }
+    }
+
+    ThreadPool &pool = globalPool();
+    const size_t num_hubs = hub_ids.size();
+
+    // Islands are embarrassingly parallel apart from hub rows:
+    // static-shard them across workers, with one hub partial-sum
+    // buffer per worker merged deterministically below. parallelFor
+    // never uses more chunks than range elements, so buffer count is
+    // capped by the island count too.
+    const int workers = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(pool.numThreads()),
+        std::max<size_t>(1, isl.islands.size())));
+    std::vector<DenseMatrix> hub_partial(
+        workers, DenseMatrix(num_hubs ? num_hubs : 1, channels));
+    std::vector<AggOpStats> worker_stats(workers);
+
+    pool.parallelFor(0, isl.islands.size(),
+                     [&](int w, size_t lo, size_t hi) {
+        AggOpStats *ws = stats ? &worker_stats[w] : nullptr;
+        for (size_t i = lo; i < hi; ++i)
+            evaluateIsland(g, isl.islands[i], y, z, hub_partial[w],
+                           hub_index, cfg, ws, include_self_loops);
+    });
+
+    if (stats)
+        for (int w = 0; w < workers; ++w)
+            *stats += worker_stats[w];
+
+    // Deterministic hub reduction: each hub row sums its per-worker
+    // partials in worker-index order. Chunks are contiguous island
+    // ranges, so this replays the island order of the sequential
+    // pass, merely re-associated at the worker boundaries.
+    pool.parallelFor(0, num_hubs, [&](int, size_t lo, size_t hi) {
+        for (size_t h = lo; h < hi; ++h) {
+            float *dst = z.row(hub_ids[h]);
+            for (int w = 0; w < workers; ++w) {
+                const float *src = hub_partial[w].row(h);
+                for (size_t ch = 0; ch < channels; ++ch)
+                    dst[ch] += src[ch];
+            }
+        }
+    }, /*min_per_worker=*/16);
 
     // Inter-hub tasks (push-outer-product order) plus hub self loops.
-    const size_t channels = y.cols();
     for (const auto &[h1, h2] : isl.interHubEdges) {
         const float *y1 = y.row(h1);
         const float *y2 = y.row(h2);
@@ -122,9 +195,7 @@ aggregateViaIslands(const CsrGraph &g, const IslandizationResult &isl,
         }
     }
     if (include_self_loops) {
-        for (NodeId v = 0; v < g.numNodes(); ++v) {
-            if (isl.role[v] != NodeRole::Hub)
-                continue;
+        for (NodeId v : hub_ids) {
             const float *src = y.row(v);
             float *dst = z.row(v);
             for (size_t ch = 0; ch < channels; ++ch)

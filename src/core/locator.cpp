@@ -45,8 +45,15 @@ tpBfs(LocatorState &st, NodeId hub0, NodeId a0, NodeId th, uint32_t round)
     auto &out = st.out;
     const uint64_t task_id = ++st.taskCounter;
 
-    std::vector<NodeId> v_local{a0};
-    std::vector<NodeId> h_local{hub0};
+    std::vector<NodeId> v_local;
+    std::vector<NodeId> h_local;
+    // An island holds at most maxIslandSize nodes (+1 for the push
+    // that triggers break condition B); reserving once removes the
+    // realloc-and-copy churn of growth inside the scan loop.
+    v_local.reserve(static_cast<size_t>(st.cfg.maxIslandSize) + 1);
+    h_local.reserve(8);
+    v_local.push_back(a0);
+    h_local.push_back(hub0);
     st.visitedLocalTask[a0] = task_id;
     st.visitedGlobalRound[a0] = round;
 
@@ -265,8 +272,13 @@ runParallelTpBfs(LocatorState &st,
                     }
                     e.busy = true;
                     e.hub0 = hub;
-                    e.vLocal = {a0};
-                    e.hLocal = {hub};
+                    e.vLocal.clear();
+                    e.hLocal.clear();
+                    e.vLocal.reserve(
+                        static_cast<size_t>(st.cfg.maxIslandSize) + 1);
+                    e.hLocal.reserve(8);
+                    e.vLocal.push_back(a0);
+                    e.hLocal.push_back(hub);
                     e.query = 0;
                     e.count = 1;
                     e.edgesScanned = 0;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
+
 namespace igcn {
 
 std::vector<float>
@@ -16,11 +18,14 @@ degreeScaling(const CsrGraph &g)
 void
 scaleRows(DenseMatrix &m, const std::vector<float> &s)
 {
-    for (size_t r = 0; r < m.rows(); ++r) {
-        float *row = m.row(r);
-        for (size_t c = 0; c < m.cols(); ++c)
-            row[c] *= s[r];
-    }
+    globalPool().parallelFor(0, m.rows(),
+                             [&](int, size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+            float *row = m.row(r);
+            for (size_t c = 0; c < m.cols(); ++c)
+                row[c] *= s[r];
+        }
+    }, /*min_per_worker=*/256);
 }
 
 CsrMatrix
@@ -82,9 +87,13 @@ binaryAdjacencyWithSelfLoops(const CsrGraph &g)
 void
 reluInPlace(DenseMatrix &m)
 {
-    for (float &v : m.data())
-        if (v < 0.0f)
-            v = 0.0f;
+    auto &data = m.data();
+    globalPool().parallelFor(0, data.size(),
+                             [&](int, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            if (data[i] < 0.0f)
+                data[i] = 0.0f;
+    }, /*min_per_worker=*/65536);
 }
 
 } // namespace igcn

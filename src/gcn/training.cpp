@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace igcn {
 
 namespace {
@@ -14,22 +16,33 @@ gemmTransposeA(const DenseMatrix &a, const DenseMatrix &b)
     if (a.rows() != b.rows())
         throw std::invalid_argument("shape mismatch in gemmTransposeA");
     DenseMatrix c(a.cols(), b.cols());
-    for (size_t r = 0; r < a.rows(); ++r) {
-        const float *arow = a.row(r);
-        const float *brow = b.row(r);
-        for (size_t i = 0; i < a.cols(); ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.row(i);
-            for (size_t j = 0; j < b.cols(); ++j)
-                crow[j] += av * brow[j];
+    // Workers own disjoint column ranges of A, i.e. disjoint row
+    // ranges of C; every output row accumulates over r in ascending
+    // order, matching the sequential result bit-for-bit.
+    globalPool().parallelFor(0, a.cols(),
+                             [&](int, size_t i0, size_t i1) {
+        for (size_t r = 0; r < a.rows(); ++r) {
+            const float *arow = a.row(r);
+            const float *brow = b.row(r);
+            for (size_t i = i0; i < i1; ++i) {
+                const float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c.row(i);
+                for (size_t j = 0; j < b.cols(); ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    }, /*min_per_worker=*/4);
     return c;
 }
 
-/** C = X^T * B for CSR X (rows x k), dense B (rows x n). */
+/**
+ * C = X^T * B for CSR X (rows x k), dense B (rows x n). Kept
+ * sequential: the scatter to c.row(colIdx) races under row-range
+ * sharding, and this path runs once per backward pass on the sparse
+ * feature matrix only.
+ */
 DenseMatrix
 csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
 {
@@ -56,16 +69,19 @@ gemmTransposeB(const DenseMatrix &a, const DenseMatrix &b)
     if (a.cols() != b.cols())
         throw std::invalid_argument("shape mismatch in gemmTransposeB");
     DenseMatrix c(a.rows(), b.rows());
-    for (size_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        for (size_t j = 0; j < b.rows(); ++j) {
-            const float *brow = b.row(j);
-            float acc = 0.0f;
-            for (size_t k = 0; k < a.cols(); ++k)
-                acc += arow[k] * brow[k];
-            c.at(i, j) = acc;
+    globalPool().parallelFor(0, a.rows(),
+                             [&](int, size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            const float *arow = a.row(i);
+            for (size_t j = 0; j < b.rows(); ++j) {
+                const float *brow = b.row(j);
+                float acc = 0.0f;
+                for (size_t k = 0; k < a.cols(); ++k)
+                    acc += arow[k] * brow[k];
+                c.at(i, j) = acc;
+            }
         }
-    }
+    }, /*min_per_worker=*/8);
     return c;
 }
 
@@ -73,9 +89,14 @@ gemmTransposeB(const DenseMatrix &a, const DenseMatrix &b)
 void
 reluBackwardInPlace(DenseMatrix &grad, const DenseMatrix &pre)
 {
-    for (size_t i = 0; i < grad.data().size(); ++i)
-        if (pre.data()[i] <= 0.0f)
-            grad.data()[i] = 0.0f;
+    auto &gd = grad.data();
+    const auto &pd = pre.data();
+    globalPool().parallelFor(0, gd.size(),
+                             [&](int, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            if (pd[i] <= 0.0f)
+                gd[i] = 0.0f;
+    }, /*min_per_worker=*/65536);
 }
 
 } // namespace

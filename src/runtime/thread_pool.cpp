@@ -1,0 +1,202 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+namespace igcn {
+
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+/** RAII flag so exceptions unwind the in-region marker correctly. */
+struct RegionGuard
+{
+    RegionGuard() { t_in_parallel = true; }
+    ~RegionGuard() { t_in_parallel = false; }
+};
+
+/** Chunk c of num_chunks over [begin, end): balanced, contiguous. */
+std::pair<size_t, size_t>
+chunkBounds(size_t begin, size_t end, int c, int num_chunks)
+{
+    const size_t n = end - begin;
+    const size_t base = n / num_chunks;
+    const size_t rem = n % num_chunks;
+    const size_t uc = static_cast<size_t>(c);
+    const size_t lo = begin + uc * base + std::min(uc, rem);
+    const size_t hi = lo + base + (uc < rem ? 1 : 0);
+    return {lo, hi};
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : numWorkers(std::max(1, num_threads))
+{
+    jobErrors.resize(numWorkers);
+    threads.reserve(numWorkers - 1);
+    // Workers 1..numWorkers-1 are real threads; the caller of
+    // parallelFor acts as worker 0.
+    for (int w = 1; w < numWorkers; ++w)
+        threads.emplace_back(&ThreadPool::workerLoop, this, w);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(stateMutex);
+        stopping = true;
+    }
+    wakeCv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return t_in_parallel;
+}
+
+void
+ThreadPool::runChunk(int chunk, int num_chunks)
+{
+    if (chunk < num_chunks) {
+        auto [lo, hi] = chunkBounds(jobBegin, jobEnd, chunk, num_chunks);
+        if (lo < hi) {
+            RegionGuard guard;
+            try {
+                (*jobFn)(chunk, lo, hi);
+            } catch (...) {
+                jobErrors[chunk] = std::current_exception();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(int worker)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        int chunks;
+        {
+            std::unique_lock<std::mutex> lk(stateMutex);
+            wakeCv.wait(lk, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            chunks = jobChunks;
+        }
+        runChunk(worker, chunks);
+        {
+            std::lock_guard<std::mutex> lk(stateMutex);
+            if (--chunksRemaining == 0)
+                doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
+                        size_t min_per_worker)
+{
+    if (t_in_parallel)
+        throw std::logic_error(
+            "nested parallelFor is not supported: kernels "
+            "parallelize exactly one loop level");
+    if (begin >= end)
+        return;
+
+    const size_t n = end - begin;
+    const size_t grain = std::max<size_t>(1, min_per_worker);
+    const int chunks = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(numWorkers), (n + grain - 1) / grain));
+
+    if (chunks == 1 || numWorkers == 1) {
+        RegionGuard guard;
+        fn(0, begin, end);
+        return;
+    }
+
+    std::lock_guard<std::mutex> job(jobMutex);
+    jobFn = &fn;
+    jobBegin = begin;
+    jobEnd = end;
+    jobChunks = chunks;
+    std::fill(jobErrors.begin(), jobErrors.end(), nullptr);
+    {
+        std::lock_guard<std::mutex> lk(stateMutex);
+        // All workers wake and re-park if their chunk id is out of
+        // range; completion counts every worker so the job slot is
+        // provably idle once doneCv fires.
+        chunksRemaining = numWorkers - 1;
+        generation++;
+    }
+    wakeCv.notify_all();
+
+    runChunk(0, chunks); // caller is worker 0
+
+    {
+        std::unique_lock<std::mutex> lk(stateMutex);
+        doneCv.wait(lk, [&] { return chunksRemaining == 0; });
+    }
+    jobFn = nullptr;
+
+    // Deterministic error selection: lowest worker index wins.
+    for (int w = 0; w < numWorkers; ++w)
+        if (jobErrors[w])
+            std::rethrow_exception(jobErrors[w]);
+}
+
+namespace {
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("IGCN_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        // A numeric value is clamped to [1, 256]; non-numeric input
+        // falls through to the hardware default.
+        if (end != env)
+            return static_cast<int>(std::clamp<long>(v, 1, 256));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+
+} // namespace
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultThreadCount());
+    return *g_pool;
+}
+
+void
+setGlobalThreads(int n)
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    g_pool = std::make_unique<ThreadPool>(
+        n >= 1 ? n : defaultThreadCount());
+}
+
+int
+globalThreads()
+{
+    return globalPool().numThreads();
+}
+
+} // namespace igcn

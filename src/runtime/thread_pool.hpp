@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parallel execution runtime: a reusable fixed-size thread pool with
+ * static range partitioning.
+ *
+ * Design goals (see DESIGN.md section 3):
+ *
+ *  - **Static partitioning.** parallelFor() splits [begin, end) into
+ *    at most numThreads() contiguous chunks, one per worker, with the
+ *    same split for the same (range, thread count). Kernels that keep
+ *    per-worker partial results therefore see a reproducible
+ *    assignment, which is what makes their reductions deterministic:
+ *    merging per-worker buffers in worker-index order replays the
+ *    contributions in a fixed, input-independent order.
+ *
+ *  - **Caller participation.** The calling thread executes chunk 0
+ *    itself, so a pool of size 1 runs the loop inline with zero
+ *    synchronization — the sequential path is the parallel path at
+ *    one thread, not separate code.
+ *
+ *  - **No nesting.** parallelFor() from inside a parallelFor() body
+ *    throws std::logic_error. Nested parallelism would deadlock on
+ *    the pool's single job slot; kernels parallelize exactly one loop
+ *    level by design.
+ *
+ *  - **Exception transparency.** The first exception thrown by any
+ *    chunk (lowest worker index wins, deterministically) is rethrown
+ *    to the caller after all workers finish.
+ *
+ * The global pool is sized from the IGCN_THREADS environment variable
+ * when set (clamped to [1, 256]), else from hardware concurrency.
+ * Tests and benches resize it with setGlobalThreads().
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace igcn {
+
+/** Fixed-size worker pool executing statically partitioned ranges. */
+class ThreadPool
+{
+  public:
+    /** Chunk body: (worker index, chunk begin, chunk end). */
+    using RangeFn = std::function<void(int, size_t, size_t)>;
+
+    /** Spawn a pool of num_threads workers (clamped to >= 1). */
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int numThreads() const { return numWorkers; }
+
+    /**
+     * Run fn over [begin, end) split into contiguous per-worker
+     * chunks. Blocks until every chunk finished. min_per_worker caps
+     * the split so tiny ranges run on fewer workers (down to inline
+     * on the caller) instead of paying wake-up latency per thread.
+     *
+     * @throws std::logic_error when called from inside a chunk body.
+     * @throws whatever a chunk body threw (first worker index wins).
+     */
+    void parallelFor(size_t begin, size_t end, const RangeFn &fn,
+                     size_t min_per_worker = 1);
+
+    /** True while the current thread executes a parallelFor chunk. */
+    static bool inParallelRegion();
+
+  private:
+    void workerLoop(int worker);
+    void runChunk(int chunk, int num_chunks);
+
+    int numWorkers = 1;
+    std::vector<std::thread> threads;
+
+    // One job at a time: parallelFor holds jobMutex for its entire
+    // duration, so concurrent callers from distinct external threads
+    // serialize instead of corrupting the shared job slot.
+    std::mutex jobMutex;
+
+    std::mutex stateMutex;
+    std::condition_variable wakeCv;
+    std::condition_variable doneCv;
+    uint64_t generation = 0;
+    int chunksRemaining = 0;
+    bool stopping = false;
+
+    // Current job (valid while chunksRemaining > 0).
+    const RangeFn *jobFn = nullptr;
+    size_t jobBegin = 0;
+    size_t jobEnd = 0;
+    int jobChunks = 0;
+    std::vector<std::exception_ptr> jobErrors;
+};
+
+/**
+ * The process-wide pool used by the parallel kernels. Created on
+ * first use, sized from IGCN_THREADS (else hardware concurrency).
+ */
+ThreadPool &globalPool();
+
+/**
+ * Resize the global pool to n workers (n < 1 restores the default
+ * sizing). Not safe concurrently with running kernels; intended for
+ * tests and benches between measurements.
+ */
+void setGlobalThreads(int n);
+
+/** Worker count of the global pool without forcing other defaults. */
+int globalThreads();
+
+} // namespace igcn

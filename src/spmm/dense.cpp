@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace igcn {
 
 void
@@ -65,17 +67,31 @@ gemm(const DenseMatrix &a, const DenseMatrix &b)
     if (a.cols() != b.rows())
         throw std::invalid_argument("shape mismatch in gemm");
     DenseMatrix c(a.rows(), b.cols());
-    for (size_t i = 0; i < a.rows(); ++i) {
-        for (size_t k = 0; k < a.cols(); ++k) {
-            float aik = a.at(i, k);
-            if (aik == 0.0f)
-                continue;
-            const float *brow = b.row(k);
-            float *crow = c.row(i);
-            for (size_t j = 0; j < b.cols(); ++j)
-                crow[j] += aik * brow[j];
+
+    // i-blocked (one contiguous row block per worker) and k-tiled:
+    // within a block the kKTile rows of B are swept once per output
+    // row while still hot in cache. k advances in ascending order for
+    // every (i, j), so the accumulation order — and therefore the
+    // float result — matches the sequential kernel bit-for-bit at any
+    // thread count.
+    constexpr size_t kKTile = 64;
+    globalPool().parallelFor(0, a.rows(),
+                             [&](int, size_t i0, size_t i1) {
+        for (size_t k0 = 0; k0 < a.cols(); k0 += kKTile) {
+            const size_t k1 = std::min(a.cols(), k0 + kKTile);
+            for (size_t i = i0; i < i1; ++i) {
+                float *crow = c.row(i);
+                for (size_t k = k0; k < k1; ++k) {
+                    float aik = a.at(i, k);
+                    if (aik == 0.0f)
+                        continue;
+                    const float *brow = b.row(k);
+                    for (size_t j = 0; j < b.cols(); ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
         }
-    }
+    }, /*min_per_worker=*/8);
     return c;
 }
 
