@@ -2,11 +2,12 @@
  * @file
  * Parallel-scaling sweep of the island-aware execution engine.
  *
- * Runs the three hot kernels (island aggregation, PULL-row-wise SpMM,
- * dense GEMM) plus the end-to-end two-layer forward pass on the
- * synthetic hub-and-island dataset family, sweeping the thread-pool
- * worker count 1..N. Prints a speedup table and writes
- * machine-readable results to BENCH_parallel.json.
+ * Runs every pooled kernel — island aggregation, the four SpMM
+ * dataflows, the transpose scatter, the island locator and dense
+ * GEMM — plus the end-to-end two-layer forward pass on the synthetic
+ * hub-and-island dataset family, sweeping the thread-pool worker
+ * count 1..N. Prints a speedup table and writes machine-readable
+ * results to BENCH_parallel.json.
  *
  * Usage: bench_parallel_scaling [--max-threads=N] [--quick]
  *   --max-threads=N  cap the sweep (default: max(4, hardware))
@@ -145,6 +146,11 @@ main(int argc, char **argv)
         std::vector<KernelResult> results;
         results.push_back({"aggregateViaIslands", {}, {}});
         results.push_back({"spmmPullRowWise", {}, {}});
+        results.push_back({"spmmPullInnerProduct", {}, {}});
+        results.push_back({"spmmPushColumnWise", {}, {}});
+        results.push_back({"spmmPushOuterProduct", {}, {}});
+        results.push_back({"csrTransposeTimesDense", {}, {}});
+        results.push_back({"islandize", {}, {}});
         results.push_back({"gemm", {}, {}});
         results.push_back({"gcnForwardViaIslands", {}, {}});
 
@@ -156,6 +162,21 @@ main(int argc, char **argv)
             const double spmm = timeBest(reps, [&] {
                 spmmPullRowWise(a, y, nullptr);
             });
+            const double spmm_ip = timeBest(reps, [&] {
+                spmmPullInnerProduct(a, y, nullptr);
+            });
+            const double spmm_cw = timeBest(reps, [&] {
+                spmmPushColumnWise(a, y, nullptr);
+            });
+            const double spmm_op = timeBest(reps, [&] {
+                spmmPushOuterProduct(a, y, nullptr);
+            });
+            const double xt = timeBest(reps, [&] {
+                csrTransposeTimesDense(a, y);
+            });
+            const double loc = timeBest(reps, [&] {
+                islandize(c.graph);
+            });
             const double mm = timeBest(reps, [&] {
                 gemm(y, w1);
             });
@@ -163,7 +184,8 @@ main(int argc, char **argv)
                 gcnForwardViaIslands(c.graph, c.islands, x, weights,
                                      cfg);
             });
-            const double secs[] = {agg, spmm, mm, fwd};
+            const double secs[] = {agg, spmm, spmm_ip, spmm_cw,
+                                   spmm_op, xt, loc, mm, fwd};
             for (size_t k = 0; k < results.size(); ++k) {
                 results[k].threads.push_back(t);
                 results[k].seconds.push_back(secs[k]);

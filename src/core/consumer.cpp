@@ -145,28 +145,28 @@ aggregateViaIslands(const CsrGraph &g, const IslandizationResult &isl,
     const size_t num_hubs = hub_ids.size();
 
     // Islands are embarrassingly parallel apart from hub rows:
-    // static-shard them across workers, with one hub partial-sum
-    // buffer per worker merged deterministically below. parallelFor
-    // never uses more chunks than range elements, so buffer count is
-    // capped by the island count too.
-    const int workers = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(pool.numThreads()),
-        std::max<size_t>(1, isl.islands.size())));
-    std::vector<DenseMatrix> hub_partial(
-        workers, DenseMatrix(num_hubs ? num_hubs : 1, channels));
-    std::vector<AggOpStats> worker_stats(workers);
-
-    pool.parallelFor(0, isl.islands.size(),
-                     [&](int w, size_t lo, size_t hi) {
-        AggOpStats *ws = stats ? &worker_stats[w] : nullptr;
-        for (size_t i = lo; i < hi; ++i)
-            evaluateIsland(g, isl.islands[i], y, z, hub_partial[w],
-                           hub_index, cfg, ws, include_self_loops);
-    });
+    // static-shard them across workers via the runtime's deterministic
+    // reduction helper, with one hub partial-sum buffer (plus op
+    // stats) per worker merged in worker-index order below.
+    struct IslandAcc
+    {
+        DenseMatrix hubPartial;
+        AggOpStats stats;
+    };
+    std::vector<IslandAcc> accs = parallelAccumulate(
+        pool, 0, isl.islands.size(),
+        IslandAcc{DenseMatrix(num_hubs ? num_hubs : 1, channels), {}},
+        [&](IslandAcc &acc, int, size_t lo, size_t hi) {
+            AggOpStats *ws = stats ? &acc.stats : nullptr;
+            for (size_t i = lo; i < hi; ++i)
+                evaluateIsland(g, isl.islands[i], y, z,
+                               acc.hubPartial, hub_index, cfg, ws,
+                               include_self_loops);
+        });
 
     if (stats)
-        for (int w = 0; w < workers; ++w)
-            *stats += worker_stats[w];
+        for (const IslandAcc &acc : accs)
+            *stats += acc.stats;
 
     // Deterministic hub reduction: each hub row sums its per-worker
     // partials in worker-index order. Chunks are contiguous island
@@ -175,8 +175,8 @@ aggregateViaIslands(const CsrGraph &g, const IslandizationResult &isl,
     pool.parallelFor(0, num_hubs, [&](int, size_t lo, size_t hi) {
         for (size_t h = lo; h < hi; ++h) {
             float *dst = z.row(hub_ids[h]);
-            for (int w = 0; w < workers; ++w) {
-                const float *src = hub_partial[w].row(h);
+            for (const IslandAcc &acc : accs) {
+                const float *src = acc.hubPartial.row(h);
                 for (size_t ch = 0; ch < channels; ++ch)
                     dst[ch] += src[ch];
             }

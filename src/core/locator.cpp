@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/thread_pool.hpp"
+
 namespace igcn {
 
 namespace {
@@ -36,113 +38,223 @@ struct LocatorState
 };
 
 /**
- * TP-BFS from start node a0 (Algorithm 4). Returns true if an island
- * was found and recorded.
+ * Per-shard speculative execution state (worker-sharded mode). Each
+ * shard runs its slice of the round's task list with private visited
+ * marks, so workers never synchronize mid-BFS; conflicting claims are
+ * resolved when results are committed in global task order.
  */
-bool
-tpBfs(LocatorState &st, NodeId hub0, NodeId a0, NodeId th, uint32_t round)
+struct ShardCtx
 {
-    auto &out = st.out;
-    const uint64_t task_id = ++st.taskCounter;
+    /** Round id in which this shard visited a node (0 = never). */
+    std::vector<uint32_t> visitedRound;
+    /** Shard-local task id that visited a node (0 = never). */
+    std::vector<uint64_t> visitedTask;
+    uint64_t taskCounter = 0;
+};
 
-    std::vector<NodeId> v_local;
-    std::vector<NodeId> h_local;
+/** Outcome of one speculatively executed TP-BFS task. */
+struct TaskResult
+{
+    TaskOutcome outcome = TaskOutcome::IslandFound;
+    /** Adjacency lists fetched while exploring. */
+    uint32_t adjFetches = 0;
+    /** Neighbor entries scanned while exploring. */
+    EdgeId edgesScanned = 0;
+    /** Candidate island members in BFS order (IslandFound only). */
+    std::vector<NodeId> nodes;
+    /** Candidate border hubs, sorted unique (IslandFound only). */
+    std::vector<NodeId> hubs;
+};
+
+/**
+ * TP-BFS from start node a0 (Algorithm 4), speculative against the
+ * shard's private marks. A completed task's candidate island is the
+ * full connected component of sub-threshold unclassified nodes around
+ * a0: BFS only stops at hubs (degree >= th), so the candidate's node
+ * set, hub set and scan count do not depend on which shard explored
+ * it — that is what makes the commit-in-task-order merge reproduce
+ * the sequential partition at any thread count.
+ */
+TaskResult
+runTask(const CsrGraph &g, const LocatorConfig &cfg,
+        const std::vector<NodeRole> &role, ShardCtx &ctx,
+        NodeId hub0, NodeId a0, NodeId th, uint32_t round)
+{
+    TaskResult res;
+    if (g.degree(a0) >= th) {
+        // a0 is itself a hub: an inter-hub connection, not a task.
+        res.outcome = TaskOutcome::InterHub;
+        return res;
+    }
+    if (role[a0] == NodeRole::IslandNode ||
+        ctx.visitedRound[a0] == round) {
+        res.outcome = TaskOutcome::DroppedStartVisited;
+        return res;
+    }
+
+    const uint64_t task_id = ++ctx.taskCounter;
     // An island holds at most maxIslandSize nodes (+1 for the push
     // that triggers break condition B); reserving once removes the
     // realloc-and-copy churn of growth inside the scan loop.
-    v_local.reserve(static_cast<size_t>(st.cfg.maxIslandSize) + 1);
-    h_local.reserve(8);
-    v_local.push_back(a0);
-    h_local.push_back(hub0);
-    st.visitedLocalTask[a0] = task_id;
-    st.visitedGlobalRound[a0] = round;
+    res.nodes.reserve(static_cast<size_t>(cfg.maxIslandSize) + 1);
+    res.hubs.reserve(8);
+    res.nodes.push_back(a0);
+    res.hubs.push_back(hub0);
+    ctx.visitedTask[a0] = task_id;
+    ctx.visitedRound[a0] = round;
 
     size_t query = 0;
     size_t count = 1;
-    EdgeId edges_scanned = 0;
-    bool aborted = false;
-    bool oversize = false;
-
-    while (query != count && !aborted) {
-        NodeId node = v_local[query];
-        out.stats.adjListFetches++;
-        for (NodeId n : st.g.neighbors(node)) {
-            edges_scanned++;
-            if (st.g.degree(n) >= th) {
+    while (query != count) {
+        NodeId node = res.nodes[query];
+        res.adjFetches++;
+        for (NodeId n : g.neighbors(node)) {
+            res.edgesScanned++;
+            if (g.degree(n) >= th) {
                 // Hub (this round's threshold, or an earlier round's
                 // higher one): border node, never traversed through.
-                h_local.push_back(n);
-            } else if (st.visitedLocalTask[n] == task_id) {
-                // Already explored by this engine: skip.
-            } else if (st.visitedGlobalRound[n] == round) {
-                // Claimed by another engine this round (break cond.
-                // A): drop the task. Algorithm 4 removes v_local from
-                // v_global so an *in-flight* engine can still claim
-                // the nodes; in this sequential interleaving the
-                // colliding region is always finished, so the marks
-                // are kept (as in break condition B) and sibling
-                // tasks drop at start instead of rescanning the
-                // region. The parallel-engine mode implements the
-                // paper's rollback verbatim.
-                out.stats.tasksDroppedCollision++;
-                aborted = true;
-                break;
+                res.hubs.push_back(n);
+            } else if (ctx.visitedTask[n] == task_id) {
+                // Already explored by this task: skip.
+            } else if (ctx.visitedRound[n] == round) {
+                // Claimed by an earlier task of this shard (break
+                // cond. A): drop. The claiming region is finished, so
+                // the marks are kept (as in break condition B) and
+                // sibling tasks drop at start instead of rescanning.
+                // The parallel-engine mode implements the paper's
+                // in-flight rollback verbatim.
+                res.outcome = TaskOutcome::DroppedCollision;
+                return res;
             } else {
                 count++;
-                v_local.push_back(n);
-                st.visitedLocalTask[n] = task_id;
-                st.visitedGlobalRound[n] = round;
-                if (count > st.cfg.maxIslandSize) {
+                res.nodes.push_back(n);
+                ctx.visitedTask[n] = task_id;
+                ctx.visitedRound[n] = round;
+                if (count > cfg.maxIslandSize) {
                     // Break condition B: too large to be an island at
-                    // this threshold. Global marks are kept so sibling
-                    // tasks don't rescan the region this round; the
-                    // nodes stay unclassified and are retried next
-                    // round at a lower threshold.
-                    out.stats.tasksDroppedOversize++;
-                    aborted = true;
-                    oversize = true;
-                    break;
+                    // this threshold. Marks are kept so sibling tasks
+                    // don't rescan the region this round; the nodes
+                    // stay unclassified and are retried next round at
+                    // a lower threshold.
+                    res.outcome = TaskOutcome::DroppedOversize;
+                    return res;
                 }
             }
         }
         query++;
     }
 
-    out.stats.edgesScanned += edges_scanned;
-    if (st.cfg.recordTrace) {
-        TaskTrace t;
-        t.round = static_cast<uint16_t>(round);
-        t.edgesScanned = static_cast<uint32_t>(edges_scanned);
-        t.hubDegree = st.g.degree(hub0);
-        t.outcome = !aborted ? TaskOutcome::IslandFound
-                  : oversize ? TaskOutcome::DroppedOversize
-                             : TaskOutcome::DroppedCollision;
-        out.taskTrace.push_back(t);
-    }
-    if (aborted) {
-        out.stats.edgesScannedWasted += edges_scanned;
-        return false;
-    }
-
     // Break condition C: query caught up with count -> island found.
-    std::sort(h_local.begin(), h_local.end());
-    h_local.erase(std::unique(h_local.begin(), h_local.end()),
-                  h_local.end());
+    std::sort(res.hubs.begin(), res.hubs.end());
+    res.hubs.erase(std::unique(res.hubs.begin(), res.hubs.end()),
+                   res.hubs.end());
+    res.outcome = TaskOutcome::IslandFound;
+    return res;
+}
 
-    Island island;
-    island.nodes = std::move(v_local);
-    island.hubs = std::move(h_local);
-    island.round = static_cast<int>(round);
-    island.edgesScanned = edges_scanned;
+/**
+ * Commit one task's speculative result, in global task order,
+ * reconstructing the exact sequential execution — partition AND
+ * statistics — from the shard results:
+ *
+ *  - Island ids are assigned in commit order, identical to the
+ *    sequential assignment: the earliest task into a component is the
+ *    winner under every sharding (no earlier task can have claimed
+ *    it), its shard recording is mark-free over the component, and
+ *    later shards' duplicate candidates of the same component carry
+ *    the identical node set, so a start-node claim check suffices.
+ *  - A duplicate candidate that lost the commit race is charged as
+ *    the sequential interleaving would have run it: by its turn the
+ *    winner had claimed the whole component, so it drops at start
+ *    with zero scans.
+ *  - A shard-dropped task (start-visited, collision, oversize) is
+ *    REPLAYED against the canonical marks `canon`, which track the
+ *    sequential global-visited state (committed islands plus earlier
+ *    replayed aborts). Its shard-local scan count reflects the
+ *    shard's mark subset, not the sequential one; the replay —
+ *    bounded by cmax, the same work the sequential pass spends on
+ *    that task — recovers the exact sequential outcome, scan count
+ *    and marks. Replays never find islands (a completed closure would
+ *    contradict the winner having committed first, or the component
+ *    being oversize), but the IslandFound arm below handles every
+ *    outcome anyway, so commit semantics equal the sequential
+ *    algorithm by construction.
+ *
+ * With one shard the recordings already are the sequential execution
+ * and the caller skips the replay (`canon_needed = false`).
+ */
+void
+commitTask(LocatorState &st, ShardCtx &canon, bool canon_needed,
+           TaskResult &t, NodeId hub, NodeId a0, NodeId th,
+           uint32_t round,
+           std::vector<std::pair<NodeId, NodeId>> &inter_hub)
+{
+    auto &out = st.out;
+    out.stats.tasksGenerated++;
 
-    const auto island_id = static_cast<uint32_t>(out.islands.size());
-    for (NodeId v : island.nodes) {
-        out.role[v] = NodeRole::IslandNode;
-        out.islandOf[v] = island_id;
+    TaskResult replay;
+    TaskResult *res = &t;
+    if (canon_needed) {
+        if (t.outcome == TaskOutcome::IslandFound) {
+            if (out.role[a0] != NodeRole::Unclassified ||
+                canon.visitedRound[a0] == round) {
+                replay.outcome = TaskOutcome::DroppedStartVisited;
+                res = &replay;
+            }
+        } else if (t.outcome != TaskOutcome::InterHub) {
+            replay = runTask(st.g, st.cfg, out.role, canon, hub, a0,
+                             th, round);
+            res = &replay;
+        }
     }
-    out.islands.push_back(std::move(island));
-    out.stats.islandsFound++;
-    return true;
+
+    switch (res->outcome) {
+    case TaskOutcome::InterHub:
+        out.stats.tasksInterHub++;
+        inter_hub.emplace_back(std::min(hub, a0), std::max(hub, a0));
+        break;
+    case TaskOutcome::DroppedStartVisited:
+        out.stats.tasksDroppedStartVisited++;
+        break;
+    case TaskOutcome::DroppedCollision:
+    case TaskOutcome::DroppedOversize:
+        if (res->outcome == TaskOutcome::DroppedCollision)
+            out.stats.tasksDroppedCollision++;
+        else
+            out.stats.tasksDroppedOversize++;
+        out.stats.adjListFetches += res->adjFetches;
+        out.stats.edgesScanned += res->edgesScanned;
+        out.stats.edgesScannedWasted += res->edgesScanned;
+        break;
+    case TaskOutcome::IslandFound: {
+        out.stats.adjListFetches += res->adjFetches;
+        out.stats.edgesScanned += res->edgesScanned;
+        Island island;
+        island.nodes = std::move(res->nodes);
+        island.hubs = std::move(res->hubs);
+        island.round = static_cast<int>(round);
+        island.edgesScanned = res->edgesScanned;
+        const auto id = static_cast<uint32_t>(out.islands.size());
+        for (NodeId v : island.nodes) {
+            out.role[v] = NodeRole::IslandNode;
+            out.islandOf[v] = id;
+            if (canon_needed)
+                canon.visitedRound[v] = round;
+        }
+        out.islands.push_back(std::move(island));
+        out.stats.islandsFound++;
+        break;
+    }
+    }
+
+    if (st.cfg.recordTrace) {
+        TaskTrace trace;
+        trace.round = static_cast<uint16_t>(round);
+        trace.outcome = res->outcome;
+        trace.edgesScanned = static_cast<uint32_t>(res->edgesScanned);
+        trace.hubDegree = st.g.degree(hub);
+        out.taskTrace.push_back(trace);
+    }
 }
 
 /** In-flight state of one TP-BFS engine (parallel mode). */
@@ -324,6 +436,15 @@ islandize(const CsrGraph &g, const LocatorConfig &cfg)
     uint32_t round = 0;
     bool last_round_done = false;
 
+    // Shard contexts persist across rounds (round-tagged marks make
+    // stale entries invisible); one per worker, allocated lazily.
+    // `canon` tracks the canonical (sequential-interleaving) visited
+    // state during multi-shard commits.
+    ThreadPool &pool = globalPool();
+    std::vector<ShardCtx> shard_ctxs;
+    ShardCtx canon;
+    constexpr size_t kMinTasksPerShard = 4;
+
     while (!node_list.empty() && !last_round_done) {
         round++;
         if (th <= 1)
@@ -336,20 +457,41 @@ islandize(const CsrGraph &g, const LocatorConfig &cfg)
         const uint64_t islands_before = out.stats.islandsFound;
 
         // --- Th1: detect_hub (Algorithm 2) -------------------------
+        // Hub-ness is a pure function of degree and threshold, so the
+        // sweep shards across workers; per-worker hub/remaining lists
+        // concatenated in worker order replay the sequential scan
+        // order (chunks are contiguous).
+        out.stats.hubDetectChecks += node_list.size();
+        struct HubDetectAcc
+        {
+            std::vector<NodeId> hubs;
+            std::vector<NodeId> remaining;
+        };
+        std::vector<HubDetectAcc> dets = parallelAccumulate(
+            pool, 0, node_list.size(), HubDetectAcc{},
+            [&](HubDetectAcc &acc, int, size_t lo, size_t hi) {
+                for (size_t i = lo; i < hi; ++i) {
+                    const NodeId v = node_list[i];
+                    if (out.role[v] != NodeRole::Unclassified)
+                        continue; // classified in a previous round
+                    if (g.degree(v) >= th) {
+                        out.role[v] = NodeRole::Hub;
+                        out.hubRound[v] =
+                            static_cast<uint16_t>(round);
+                        acc.hubs.push_back(v);
+                    } else {
+                        acc.remaining.push_back(v);
+                    }
+                }
+            }, /*min_per_worker=*/256);
         std::vector<NodeId> hub_buffer;
         std::vector<NodeId> remaining;
         remaining.reserve(node_list.size());
-        out.stats.hubDetectChecks += node_list.size();
-        for (NodeId v : node_list) {
-            if (out.role[v] != NodeRole::Unclassified)
-                continue; // popped: classified in a previous round
-            if (g.degree(v) >= th) {
-                out.role[v] = NodeRole::Hub;
-                out.hubRound[v] = static_cast<uint16_t>(round);
-                hub_buffer.push_back(v);
-            } else {
-                remaining.push_back(v);
-            }
+        for (HubDetectAcc &acc : dets) {
+            hub_buffer.insert(hub_buffer.end(), acc.hubs.begin(),
+                              acc.hubs.end());
+            remaining.insert(remaining.end(), acc.remaining.begin(),
+                             acc.remaining.end());
         }
         node_list = std::move(remaining);
 
@@ -364,38 +506,47 @@ islandize(const CsrGraph &g, const LocatorConfig &cfg)
             }
             runParallelTpBfs(st, tasks, th, round, inter_hub_raw);
         } else {
-            // Tasks processed as they are generated; this sequential
-            // order is one valid interleaving of the parallel engines.
+            // Worker-sharded speculative execution. The task list is
+            // generated in the sequential order (hub order, neighbor
+            // order), statically sharded across workers that explore
+            // against private marks, and the results are committed in
+            // global task order. Candidate islands are full
+            // components of the sub-threshold subgraph, so the
+            // committed partition — including island ids and BFS node
+            // order — is identical at every thread count; one shard
+            // replays the sequential interleaving exactly.
+            std::vector<std::pair<NodeId, NodeId>> tasks;
             for (NodeId hub : hub_buffer) {
                 out.stats.adjListFetches++;
-                for (NodeId a0 : g.neighbors(hub)) {
-                    out.stats.tasksGenerated++;
-                    if (g.degree(a0) >= th) {
-                        // a0 is itself a hub: record the inter-hub
-                        // connection.
-                        out.stats.tasksInterHub++;
-                        inter_hub_raw.emplace_back(std::min(hub, a0),
-                                                   std::max(hub, a0));
-                        if (cfg.recordTrace)
-                            out.taskTrace.push_back(
-                                {static_cast<uint16_t>(round),
-                                 TaskOutcome::InterHub, 0,
-                                 g.degree(hub)});
-                        continue;
-                    }
-                    if (out.role[a0] == NodeRole::IslandNode ||
-                        st.visitedGlobalRound[a0] == round) {
-                        out.stats.tasksDroppedStartVisited++;
-                        if (cfg.recordTrace)
-                            out.taskTrace.push_back(
-                                {static_cast<uint16_t>(round),
-                                 TaskOutcome::DroppedStartVisited, 0,
-                                 g.degree(hub)});
-                        continue;
-                    }
-                    tpBfs(st, hub, a0, th, round);
-                }
+                for (NodeId a0 : g.neighbors(hub))
+                    tasks.emplace_back(hub, a0);
             }
+            const int shards =
+                pool.planChunks(0, tasks.size(), kMinTasksPerShard);
+            if (static_cast<size_t>(shards) > shard_ctxs.size())
+                shard_ctxs.resize(static_cast<size_t>(shards));
+            std::vector<TaskResult> results(tasks.size());
+            pool.parallelFor(0, tasks.size(),
+                             [&](int w, size_t lo, size_t hi) {
+                ShardCtx &ctx = shard_ctxs[static_cast<size_t>(w)];
+                if (ctx.visitedRound.size() != n) {
+                    ctx.visitedRound.assign(n, 0);
+                    ctx.visitedTask.assign(n, 0);
+                }
+                for (size_t i = lo; i < hi; ++i)
+                    results[i] = runTask(g, cfg, out.role, ctx,
+                                         tasks[i].first,
+                                         tasks[i].second, th, round);
+            }, kMinTasksPerShard);
+            const bool canon_needed = shards > 1;
+            if (canon_needed && canon.visitedRound.size() != n) {
+                canon.visitedRound.assign(n, 0);
+                canon.visitedTask.assign(n, 0);
+            }
+            for (size_t i = 0; i < results.size(); ++i)
+                commitTask(st, canon, canon_needed, results[i],
+                           tasks[i].first, tasks[i].second, th, round,
+                           inter_hub_raw);
         }
 
         // --- End-of-round threshold decay (Algorithm 1 line 10) ----

@@ -19,6 +19,18 @@
  * purely by the (fixed) threshold, so task interleaving only affects
  * *which* engine claims a region, not the set of islands, and
  * sequential task order is one valid interleaving.
+ *
+ * The default mode runs on the process-global thread pool: hub
+ * detection and TP-BFS tasks are statically sharded across workers,
+ * each shard explores speculatively against private visited marks,
+ * and results are committed in global task order against a canonical
+ * marks context (aborted tasks are replayed there, bounded by cmax
+ * each). The commit therefore reconstructs the sequential execution
+ * exactly: the partition — island membership, BFS node order, island
+ * ids — AND every statistic and trace entry are identical at every
+ * thread count, bit-identical to the sequential interleaving. The
+ * cycle-level accelerator models consume these stats, so modeled
+ * latency/energy never depends on IGCN_THREADS.
  */
 
 #pragma once

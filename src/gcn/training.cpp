@@ -37,31 +37,6 @@ gemmTransposeA(const DenseMatrix &a, const DenseMatrix &b)
     return c;
 }
 
-/**
- * C = X^T * B for CSR X (rows x k), dense B (rows x n). Kept
- * sequential: the scatter to c.row(colIdx) races under row-range
- * sharding, and this path runs once per backward pass on the sparse
- * feature matrix only.
- */
-DenseMatrix
-csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
-{
-    if (x.numRows != b.rows())
-        throw std::invalid_argument(
-            "shape mismatch in csrTransposeTimesDense");
-    DenseMatrix c(x.numCols, b.cols());
-    for (NodeId r = 0; r < x.numRows; ++r) {
-        const float *brow = b.row(r);
-        for (EdgeId e = x.rowPtr[r]; e < x.rowPtr[r + 1]; ++e) {
-            float *crow = c.row(x.colIdx[e]);
-            const float v = x.values[e];
-            for (size_t j = 0; j < b.cols(); ++j)
-                crow[j] += v * brow[j];
-        }
-    }
-    return c;
-}
-
 /** C = A * B^T for dense A (m x n), B (k x n). */
 DenseMatrix
 gemmTransposeB(const DenseMatrix &a, const DenseMatrix &b)

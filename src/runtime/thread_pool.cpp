@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
-#include <stdexcept>
 
 namespace igcn {
 
@@ -102,21 +101,37 @@ ThreadPool::workerLoop(int worker)
     }
 }
 
+int
+ThreadPool::planChunks(size_t begin, size_t end,
+                       size_t min_per_worker) const
+{
+    if (begin >= end)
+        return 0;
+    // Inside a chunk body the pool's single job slot is occupied:
+    // a nested parallelFor runs inline as one sequential chunk.
+    if (t_in_parallel)
+        return 1;
+    const size_t n = end - begin;
+    const size_t grain = std::max<size_t>(1, min_per_worker);
+    return static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(numWorkers), (n + grain - 1) / grain));
+}
+
 void
 ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
                         size_t min_per_worker)
 {
-    if (t_in_parallel)
-        throw std::logic_error(
-            "nested parallelFor is not supported: kernels "
-            "parallelize exactly one loop level");
     if (begin >= end)
         return;
+    if (t_in_parallel) {
+        // Sequential fallback for nested calls: the caller is already
+        // a worker, so run the whole range inline as worker 0. The
+        // in-region flag is already set; no guard needed.
+        fn(0, begin, end);
+        return;
+    }
 
-    const size_t n = end - begin;
-    const size_t grain = std::max<size_t>(1, min_per_worker);
-    const int chunks = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(numWorkers), (n + grain - 1) / grain));
+    const int chunks = planChunks(begin, end, min_per_worker);
 
     if (chunks == 1 || numWorkers == 1) {
         RegionGuard guard;

@@ -19,9 +19,11 @@
  *    one thread, not separate code.
  *
  *  - **No nesting.** parallelFor() from inside a parallelFor() body
- *    throws std::logic_error. Nested parallelism would deadlock on
- *    the pool's single job slot; kernels parallelize exactly one loop
- *    level by design.
+ *    runs the whole range inline on the calling worker (worker index
+ *    0, one chunk). Nested parallelism would deadlock on the pool's
+ *    single job slot; kernels parallelize exactly one loop level, and
+ *    a kernel invoked from inside another parallel region degrades to
+ *    its sequential form instead of aborting.
  *
  *  - **Exception transparency.** The first exception thrown by any
  *    chunk (lowest worker index wins, deterministically) is rethrown
@@ -65,12 +67,24 @@ class ThreadPool
      * chunks. Blocks until every chunk finished. min_per_worker caps
      * the split so tiny ranges run on fewer workers (down to inline
      * on the caller) instead of paying wake-up latency per thread.
+     * Called from inside a chunk body, the whole range runs inline on
+     * the caller as worker 0 (sequential fallback, no deadlock).
      *
-     * @throws std::logic_error when called from inside a chunk body.
      * @throws whatever a chunk body threw (first worker index wins).
      */
     void parallelFor(size_t begin, size_t end, const RangeFn &fn,
                      size_t min_per_worker = 1);
+
+    /**
+     * Number of chunks parallelFor would split [begin, end) into with
+     * this min_per_worker: 0 for an empty range, 1 inside a parallel
+     * region (the sequential fallback), else
+     * min(numThreads(), ceil(n / min_per_worker)). Kernels that keep
+     * per-worker accumulators size their buffer arrays with this so
+     * buffer count and chunk assignment always agree.
+     */
+    int planChunks(size_t begin, size_t end,
+                   size_t min_per_worker = 1) const;
 
     /** True while the current thread executes a parallelFor chunk. */
     static bool inParallelRegion();
@@ -117,5 +131,40 @@ void setGlobalThreads(int n);
 
 /** Worker count of the global pool without forcing other defaults. */
 int globalThreads();
+
+/**
+ * Deterministic reduction: run body over [begin, end) with one
+ * private accumulator per chunk (each copy-constructed from init) and
+ * return the accumulators ordered by chunk index.
+ *
+ * This is the shared form of the per-worker-buffer-then-ordered-merge
+ * pattern used by every parallel kernel with a scatter or reduction:
+ * chunk w only ever touches accs[w], so the body runs without
+ * synchronization, and because the partition is static the caller's
+ * merge — folding the returned vector in index order — replays the
+ * contributions in a fixed, input-independent order. At one thread
+ * (or inside a nested parallel region) there is exactly one
+ * accumulator filled in sequential order, so the merged result is
+ * bit-identical to the sequential kernel.
+ *
+ * body is called as body(acc, chunk_index, chunk_begin, chunk_end).
+ * Accumulators for chunks an exception skipped stay at init; the
+ * exception propagates after all chunks finish.
+ */
+template <typename Acc, typename Body>
+std::vector<Acc>
+parallelAccumulate(ThreadPool &pool, size_t begin, size_t end,
+                   const Acc &init, Body &&body,
+                   size_t min_per_worker = 1)
+{
+    const int chunks = pool.planChunks(begin, end, min_per_worker);
+    std::vector<Acc> accs(static_cast<size_t>(chunks), init);
+    if (chunks == 0)
+        return accs;
+    pool.parallelFor(begin, end, [&](int w, size_t lo, size_t hi) {
+        body(accs[static_cast<size_t>(w)], w, lo, hi);
+    }, min_per_worker);
+    return accs;
+}
 
 } // namespace igcn

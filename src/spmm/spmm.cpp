@@ -94,23 +94,36 @@ spmmPullInnerProduct(const CsrMatrix &a, const DenseMatrix &b,
     checkShapes(a, b);
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
-    SpmmCounters cnt;
-    for (NodeId i = 0; i < a.numRows; ++i) {
-        for (size_t ch = 0; ch < channels; ++ch) {
-            float acc = 0.0f;
-            for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
-                acc += a.values[e] * b.at(a.colIdx[e], ch);
-                cnt.aReads++;
-                // Single element of a B column: irregular.
-                cnt.bIrregularReads++;
-                cnt.macOps++;
+
+    // Every output element is an independent inner product: shard the
+    // row range across workers. Each element accumulates its row's
+    // edges in ascending order regardless of the split, so the result
+    // is bit-identical at any thread count.
+    globalPool().parallelFor(0, a.numRows,
+                             [&](int, size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            for (size_t ch = 0; ch < channels; ++ch) {
+                float acc = 0.0f;
+                for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e)
+                    acc += a.values[e] * b.at(a.colIdx[e], ch);
+                c.at(i, ch) = acc;
             }
-            c.at(i, ch) = acc;
-            cnt.cStreamedWrites++;
         }
-    }
-    if (counters)
+    }, /*min_per_worker=*/16);
+
+    // Dataflow profile (Table 1): the per-channel loop re-reads each
+    // non-zero of A every channel and pulls single B-column elements
+    // irregularly; outputs are produced streamed one element at a
+    // time. Arithmetic, so exact at every thread count.
+    if (counters) {
+        SpmmCounters cnt;
+        cnt.aReads = a.nnz() * channels;
+        cnt.bIrregularReads = a.nnz() * channels;
+        cnt.macOps = a.nnz() * channels;
+        cnt.cStreamedWrites =
+            static_cast<uint64_t>(a.numRows) * channels;
         *counters += cnt;
+    }
     return c;
 }
 
@@ -121,25 +134,37 @@ spmmPushColumnWise(const CsrMatrix &a, const DenseMatrix &b,
     checkShapes(a, b);
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
-    SpmmCounters cnt;
+
     // Outer loop over channels: each pass broadcasts one feature
     // channel of every node to its neighbors. We iterate the non-zeros
     // of A by row here, but A(i, k) consumes B(k, ch) and produces
     // C(i, ch); per channel, B is read streamed and C is written into
-    // a column buffer (streamed if it fits on chip).
-    for (size_t ch = 0; ch < channels; ++ch) {
-        for (NodeId i = 0; i < a.numRows; ++i) {
-            for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
-                c.at(i, ch) += a.values[e] * b.at(a.colIdx[e], ch);
-                cnt.aReads++;
-                cnt.bStreamedReads++;
-                cnt.macOps++;
-                cnt.cIrregularWrites++;
+    // a column buffer (streamed if it fits on chip). Channels are
+    // independent — workers own disjoint channel ranges, i.e. disjoint
+    // columns of C, so each element keeps its sequential edge
+    // accumulation order and the result is bit-identical at any
+    // thread count.
+    globalPool().parallelFor(0, channels,
+                             [&](int, size_t ch0, size_t ch1) {
+        for (size_t ch = ch0; ch < ch1; ++ch) {
+            for (NodeId i = 0; i < a.numRows; ++i) {
+                for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e)
+                    c.at(i, ch) += a.values[e] * b.at(a.colIdx[e], ch);
             }
         }
-    }
-    if (counters)
+    });
+
+    // Per channel: every non-zero of A is re-read, consumes one
+    // streamed element of B's channel column and read-modify-writes
+    // one C element selected by the non-zero's row id.
+    if (counters) {
+        SpmmCounters cnt;
+        cnt.aReads = a.nnz() * channels;
+        cnt.bStreamedReads = a.nnz() * channels;
+        cnt.macOps = a.nnz() * channels;
+        cnt.cIrregularWrites = a.nnz() * channels;
         *counters += cnt;
+    }
     return c;
 }
 
@@ -149,8 +174,6 @@ spmmPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b,
 {
     checkShapes(a, b);
     const size_t channels = b.cols();
-    DenseMatrix c(a.numRows, channels);
-    SpmmCounters cnt;
     // Process non-zeros of A by column k: node k broadcasts its whole
     // feature row to all nodes i with A(i, k) != 0. We emulate the
     // column order via a CSC-style traversal built on the fly.
@@ -171,21 +194,46 @@ spmmPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b,
             }
         }
     }
-    for (NodeId k = 0; k < a.numCols; ++k) {
-        const float *brow = b.row(k);
-        cnt.bStreamedReads += channels;
-        for (EdgeId e = col_count[k]; e < col_count[k + 1]; ++e) {
-            float *crow = c.row(row_of[e]);
-            for (size_t ch = 0; ch < channels; ++ch)
-                crow[ch] += val_of[e] * brow[ch];
-            cnt.aReads++;
-            cnt.macOps += channels;
-            // Xo row selected by the non-zero's row id: irregular.
-            cnt.cIrregularWrites += channels;
-        }
-    }
-    if (counters)
+
+    // The scatter to c.row(row_of[e]) races under column sharding, so
+    // each worker accumulates a private output buffer over its column
+    // range and the buffers are merged in worker-index order
+    // (deterministic at any fixed thread count; one buffer — and
+    // therefore the sequential scatter order — at one thread). The
+    // column grain caps the split at 8 buffers so speculation memory
+    // stays bounded on many-core hosts.
+    const size_t col_grain = std::max<size_t>(
+        64, (static_cast<size_t>(a.numCols) + 7) / 8);
+    ThreadPool &pool = globalPool();
+    std::vector<DenseMatrix> bufs = parallelAccumulate(
+        pool, 0, a.numCols, DenseMatrix(a.numRows, channels),
+        [&](DenseMatrix &part, int, size_t k0, size_t k1) {
+            for (size_t k = k0; k < k1; ++k) {
+                const float *brow = b.row(k);
+                for (EdgeId e = col_count[k]; e < col_count[k + 1];
+                     ++e) {
+                    float *crow = part.row(row_of[e]);
+                    for (size_t ch = 0; ch < channels; ++ch)
+                        crow[ch] += val_of[e] * brow[ch];
+                }
+            }
+        }, col_grain);
+    DenseMatrix c = bufs.empty() ? DenseMatrix(a.numRows, channels)
+                                 : reduceWorkerBuffers(std::move(bufs));
+
+    // Per column: one streamed read of the full B row (empty columns
+    // included, as the hardware prefetches the broadcast row before
+    // consulting the column's non-zeros); per non-zero: one A read
+    // and a full-row irregular read-modify-write of Xo.
+    if (counters) {
+        SpmmCounters cnt;
+        cnt.bStreamedReads =
+            static_cast<uint64_t>(a.numCols) * channels;
+        cnt.aReads = a.nnz();
+        cnt.macOps = a.nnz() * channels;
+        cnt.cIrregularWrites = a.nnz() * channels;
         *counters += cnt;
+    }
     return c;
 }
 
@@ -194,6 +242,40 @@ csrTimesDense(const CsrMatrix &x, const DenseMatrix &w,
               SpmmCounters *counters)
 {
     return spmmPullRowWise(x, w, counters);
+}
+
+DenseMatrix
+csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
+{
+    if (x.numRows != b.rows())
+        throw std::invalid_argument(
+            "shape mismatch in csrTransposeTimesDense");
+    const size_t channels = b.cols();
+
+    // C(colIdx[e], :) += values[e] * B(r, :) is a scatter over the
+    // transposed row id: same per-worker-buffer-then-ordered-merge
+    // treatment as spmmPushOuterProduct, sharded over the rows of X.
+    // One buffer at one thread keeps the sequential scatter order
+    // bit-for-bit; the row grain caps speculation at 8 buffers.
+    const size_t row_grain = std::max<size_t>(
+        64, (static_cast<size_t>(x.numRows) + 7) / 8);
+    ThreadPool &pool = globalPool();
+    std::vector<DenseMatrix> bufs = parallelAccumulate(
+        pool, 0, x.numRows, DenseMatrix(x.numCols, channels),
+        [&](DenseMatrix &part, int, size_t r0, size_t r1) {
+            for (size_t r = r0; r < r1; ++r) {
+                const float *brow = b.row(r);
+                for (EdgeId e = x.rowPtr[r]; e < x.rowPtr[r + 1];
+                     ++e) {
+                    float *crow = part.row(x.colIdx[e]);
+                    const float v = x.values[e];
+                    for (size_t ch = 0; ch < channels; ++ch)
+                        crow[ch] += v * brow[ch];
+                }
+            }
+        }, row_grain);
+    return bufs.empty() ? DenseMatrix(x.numCols, channels)
+                        : reduceWorkerBuffers(std::move(bufs));
 }
 
 CsrMatrix

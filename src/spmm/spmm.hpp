@@ -98,6 +98,16 @@ DenseMatrix spmmPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b,
 DenseMatrix csrTimesDense(const CsrMatrix &x, const DenseMatrix &w,
                           SpmmCounters *counters = nullptr);
 
+/**
+ * C = X^T * B for CSR X (rows x k) and dense B (rows x n): the
+ * backward-pass weight-gradient kernel for sparse feature matrices.
+ * Parallel over rows of X with per-worker output accumulators merged
+ * in worker order (bit-identical to the sequential scatter at one
+ * thread, deterministic at any fixed thread count).
+ */
+DenseMatrix csrTransposeTimesDense(const CsrMatrix &x,
+                                   const DenseMatrix &b);
+
 /** Convert a dense matrix into CSR form (exact, drops zeros). */
 CsrMatrix denseToCsr(const DenseMatrix &m);
 

@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Differential and property tests for the parallel kernels.
+ *
+ * Every kernel that moved onto the thread pool — the four SpMM
+ * dataflows, csrTransposeTimesDense and the locator's islandize — is
+ * checked at 1/2/4/8 threads across the four graph families against
+ * a sequential reference written with the pre-refactor loop orders:
+ *
+ *  - at 1 thread the parallel kernel must be BIT-identical to the
+ *    sequential reference (one chunk, one accumulator, same float
+ *    order);
+ *  - across thread counts results must agree exactly where each
+ *    output element keeps its accumulation order (row-wise,
+ *    inner-product, column-wise) and within float-reassociation
+ *    tolerance where per-worker buffers re-associate at merge
+ *    boundaries (outer-product, transpose);
+ *  - hardware access counters are arithmetic and must be exact at
+ *    every thread count;
+ *  - islandize must reproduce the sequential execution exactly at
+ *    every thread count: the island partition (ids, membership, BFS
+ *    node order, roles, inter-hub map, per-round record) AND all
+ *    statistics and trace entries (the commit phase replays aborted
+ *    tasks against canonical marks, so even wasted-work accounting
+ *    is thread-invariant — the accelerator timing models depend on
+ *    that).
+ *
+ * A fuzz sweep over randomized small CSR matrices (empty rows,
+ * isolated vertices, skewed degree distributions, rectangular shapes)
+ * checks all five kernels against a naive triple-loop dense product.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/locator.hpp"
+#include "graph/generators.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spmm/spmm.hpp"
+
+namespace igcn {
+namespace {
+
+constexpr double kTol = 1e-4;
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+/** Restore the default global pool after each test. */
+class ParityTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setGlobalThreads(0); }
+};
+
+// ---------------------------------------------------------------------
+// Sequential references: the seed's (pre-refactor) loop orders,
+// verbatim. These never touch the thread pool.
+// ---------------------------------------------------------------------
+
+DenseMatrix
+seqPullRowWise(const CsrMatrix &a, const DenseMatrix &b)
+{
+    DenseMatrix c(a.numRows, b.cols());
+    for (NodeId i = 0; i < a.numRows; ++i) {
+        float *crow = c.row(i);
+        for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
+            const float aval = a.values[e];
+            const float *brow = b.row(a.colIdx[e]);
+            for (size_t ch = 0; ch < b.cols(); ++ch)
+                crow[ch] += aval * brow[ch];
+        }
+    }
+    return c;
+}
+
+DenseMatrix
+seqPullInnerProduct(const CsrMatrix &a, const DenseMatrix &b)
+{
+    DenseMatrix c(a.numRows, b.cols());
+    for (NodeId i = 0; i < a.numRows; ++i) {
+        for (size_t ch = 0; ch < b.cols(); ++ch) {
+            float acc = 0.0f;
+            for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e)
+                acc += a.values[e] * b.at(a.colIdx[e], ch);
+            c.at(i, ch) = acc;
+        }
+    }
+    return c;
+}
+
+DenseMatrix
+seqPushColumnWise(const CsrMatrix &a, const DenseMatrix &b)
+{
+    DenseMatrix c(a.numRows, b.cols());
+    for (size_t ch = 0; ch < b.cols(); ++ch)
+        for (NodeId i = 0; i < a.numRows; ++i)
+            for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e)
+                c.at(i, ch) += a.values[e] * b.at(a.colIdx[e], ch);
+    return c;
+}
+
+DenseMatrix
+seqPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b)
+{
+    const size_t channels = b.cols();
+    DenseMatrix c(a.numRows, channels);
+    std::vector<EdgeId> col_count(a.numCols + 1, 0);
+    for (NodeId v : a.colIdx)
+        col_count[v + 1]++;
+    for (NodeId k = 0; k < a.numCols; ++k)
+        col_count[k + 1] += col_count[k];
+    std::vector<NodeId> row_of(a.nnz());
+    std::vector<float> val_of(a.nnz());
+    std::vector<EdgeId> cursor(col_count.begin(), col_count.end() - 1);
+    for (NodeId i = 0; i < a.numRows; ++i) {
+        for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
+            EdgeId slot = cursor[a.colIdx[e]]++;
+            row_of[slot] = i;
+            val_of[slot] = a.values[e];
+        }
+    }
+    for (NodeId k = 0; k < a.numCols; ++k) {
+        const float *brow = b.row(k);
+        for (EdgeId e = col_count[k]; e < col_count[k + 1]; ++e) {
+            float *crow = c.row(row_of[e]);
+            for (size_t ch = 0; ch < channels; ++ch)
+                crow[ch] += val_of[e] * brow[ch];
+        }
+    }
+    return c;
+}
+
+DenseMatrix
+seqCsrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
+{
+    DenseMatrix c(x.numCols, b.cols());
+    for (NodeId r = 0; r < x.numRows; ++r) {
+        const float *brow = b.row(r);
+        for (EdgeId e = x.rowPtr[r]; e < x.rowPtr[r + 1]; ++e) {
+            float *crow = c.row(x.colIdx[e]);
+            const float v = x.values[e];
+            for (size_t j = 0; j < b.cols(); ++j)
+                crow[j] += v * brow[j];
+        }
+    }
+    return c;
+}
+
+/** Naive dense C = A * B with ascending-k float accumulation. */
+DenseMatrix
+naiveDenseProduct(const DenseMatrix &a, const DenseMatrix &b)
+{
+    DenseMatrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t ch = 0; ch < b.cols(); ++ch) {
+            float acc = 0.0f;
+            for (size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(k, ch);
+            c.at(i, ch) = acc;
+        }
+    return c;
+}
+
+/** Naive dense C = A^T * B. */
+DenseMatrix
+naiveDenseTransposeProduct(const DenseMatrix &a, const DenseMatrix &b)
+{
+    DenseMatrix c(a.cols(), b.cols());
+    for (size_t j = 0; j < a.cols(); ++j)
+        for (size_t ch = 0; ch < b.cols(); ++ch) {
+            float acc = 0.0f;
+            for (size_t k = 0; k < a.rows(); ++k)
+                acc += a.at(k, j) * b.at(k, ch);
+            c.at(j, ch) = acc;
+        }
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// Shared inputs
+// ---------------------------------------------------------------------
+
+struct FamilyCase
+{
+    const char *name;
+    CsrGraph graph;
+};
+
+std::vector<FamilyCase>
+graphFamilies()
+{
+    std::vector<FamilyCase> cases;
+    HubIslandParams hp;
+    hp.numNodes = 1500;
+    hp.seed = 91;
+    cases.push_back({"hub-island", hubAndIslandGraph(hp).graph});
+    cases.push_back({"erdos-renyi", erdosRenyi(1200, 6.0, 17)});
+    cases.push_back({"rmat",
+                     rmat(1024, 6000, 0.57, 0.19, 0.19, 23)});
+    cases.push_back({"barabasi-albert", barabasiAlbert(1000, 3, 29)});
+    return cases;
+}
+
+/** Weighted adjacency + feature matrix for one family graph. */
+void
+makeOperands(const CsrGraph &g, CsrMatrix &a, DenseMatrix &b,
+             size_t channels = 100)
+{
+    a = CsrMatrix::fromGraph(g);
+    Rng vrng(13);
+    for (float &v : a.values)
+        v = vrng.nextFloat(2.0f);
+    Rng rng(19);
+    // 100 channels spans one full channel tile plus a ragged rest.
+    b = DenseMatrix(g.numNodes(), channels);
+    b.fillRandom(rng);
+}
+
+void
+expectCountersEqual(const SpmmCounters &a, const SpmmCounters &b,
+                    const std::string &ctx)
+{
+    EXPECT_EQ(a.macOps, b.macOps) << ctx;
+    EXPECT_EQ(a.aReads, b.aReads) << ctx;
+    EXPECT_EQ(a.bStreamedReads, b.bStreamedReads) << ctx;
+    EXPECT_EQ(a.bIrregularReads, b.bIrregularReads) << ctx;
+    EXPECT_EQ(a.cStreamedWrites, b.cStreamedWrites) << ctx;
+    EXPECT_EQ(a.cIrregularWrites, b.cIrregularWrites) << ctx;
+}
+
+// ---------------------------------------------------------------------
+// SpMM dataflows + transpose: differential across thread counts
+// ---------------------------------------------------------------------
+
+using SpmmFn = DenseMatrix (*)(const CsrMatrix &, const DenseMatrix &,
+                               SpmmCounters *);
+using SeqFn = DenseMatrix (*)(const CsrMatrix &, const DenseMatrix &);
+
+struct KernelCase
+{
+    const char *name;
+    SpmmFn fn;
+    SeqFn seq;
+    /** Result is bit-identical at every thread count (no per-worker
+     *  buffer merge re-associates the accumulation). */
+    bool bitExactAcrossThreads;
+};
+
+const KernelCase kKernels[] = {
+    {"pull-row-wise", &spmmPullRowWise, &seqPullRowWise, true},
+    {"pull-inner-product", &spmmPullInnerProduct,
+     &seqPullInnerProduct, true},
+    {"push-column-wise", &spmmPushColumnWise, &seqPushColumnWise,
+     true},
+    {"push-outer-product", &spmmPushOuterProduct,
+     &seqPushOuterProduct, false},
+};
+
+TEST_F(ParityTest, SpmmDataflowsMatchSequentialAcrossThreads)
+{
+    for (const FamilyCase &fc : graphFamilies()) {
+        CsrMatrix a;
+        DenseMatrix b;
+        makeOperands(fc.graph, a, b);
+
+        for (const KernelCase &k : kKernels) {
+            const DenseMatrix ref = k.seq(a, b);
+
+            setGlobalThreads(1);
+            SpmmCounters base_cnt;
+            const DenseMatrix base = k.fn(a, b, &base_cnt);
+            // One thread = one chunk = the sequential float order.
+            EXPECT_EQ(base.data(), ref.data())
+                << k.name << " on " << fc.name << " @ 1 thread";
+
+            for (int threads : kThreadCounts) {
+                const std::string ctx = std::string(k.name) + " on " +
+                    fc.name + " @ " + std::to_string(threads) +
+                    " threads";
+                setGlobalThreads(threads);
+                SpmmCounters cnt;
+                const DenseMatrix c = k.fn(a, b, &cnt);
+                if (k.bitExactAcrossThreads)
+                    EXPECT_EQ(c.data(), base.data()) << ctx;
+                else
+                    EXPECT_LE(maxAbsDiff(c, base), kTol) << ctx;
+                expectCountersEqual(cnt, base_cnt, ctx);
+                // Same thread count twice: no scheduling dependence.
+                const DenseMatrix c2 = k.fn(a, b, nullptr);
+                EXPECT_EQ(c2.data(), c.data()) << ctx << " (rerun)";
+            }
+        }
+    }
+}
+
+TEST_F(ParityTest, CsrTransposeTimesDenseMatchesSequentialAcrossThreads)
+{
+    for (const FamilyCase &fc : graphFamilies()) {
+        CsrMatrix a;
+        DenseMatrix b;
+        makeOperands(fc.graph, a, b);
+        const DenseMatrix ref = seqCsrTransposeTimesDense(a, b);
+
+        setGlobalThreads(1);
+        const DenseMatrix base = csrTransposeTimesDense(a, b);
+        EXPECT_EQ(base.data(), ref.data())
+            << fc.name << " @ 1 thread";
+
+        for (int threads : kThreadCounts) {
+            setGlobalThreads(threads);
+            const DenseMatrix c = csrTransposeTimesDense(a, b);
+            EXPECT_LE(maxAbsDiff(c, base), kTol)
+                << fc.name << " @ " << threads << " threads";
+            const DenseMatrix c2 = csrTransposeTimesDense(a, b);
+            EXPECT_EQ(c2.data(), c.data())
+                << fc.name << " @ " << threads << " threads (rerun)";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Islandize: identical partition at every thread count
+// ---------------------------------------------------------------------
+
+void
+expectSamePartition(const IslandizationResult &a,
+                    const IslandizationResult &b,
+                    const std::string &ctx)
+{
+    ASSERT_EQ(a.islands.size(), b.islands.size()) << ctx;
+    for (size_t i = 0; i < a.islands.size(); ++i) {
+        EXPECT_EQ(a.islands[i].nodes, b.islands[i].nodes)
+            << ctx << ", island " << i;
+        EXPECT_EQ(a.islands[i].hubs, b.islands[i].hubs)
+            << ctx << ", island " << i;
+        EXPECT_EQ(a.islands[i].round, b.islands[i].round)
+            << ctx << ", island " << i;
+        EXPECT_EQ(a.islands[i].edgesScanned, b.islands[i].edgesScanned)
+            << ctx << ", island " << i;
+    }
+    EXPECT_TRUE(a.role == b.role) << ctx;
+    EXPECT_TRUE(a.islandOf == b.islandOf) << ctx;
+    EXPECT_TRUE(a.hubRound == b.hubRound) << ctx;
+    EXPECT_TRUE(a.interHubEdges == b.interHubEdges) << ctx;
+    EXPECT_TRUE(a.thresholds == b.thresholds) << ctx;
+    EXPECT_EQ(a.numRounds, b.numRounds) << ctx;
+    ASSERT_EQ(a.rounds.size(), b.rounds.size()) << ctx;
+    for (size_t r = 0; r < a.rounds.size(); ++r) {
+        EXPECT_EQ(a.rounds[r].threshold, b.rounds[r].threshold)
+            << ctx << ", round " << r;
+        EXPECT_EQ(a.rounds[r].nodesChecked, b.rounds[r].nodesChecked)
+            << ctx << ", round " << r;
+        EXPECT_EQ(a.rounds[r].hubsDetected, b.rounds[r].hubsDetected)
+            << ctx << ", round " << r;
+        EXPECT_EQ(a.rounds[r].islandsFound, b.rounds[r].islandsFound)
+            << ctx << ", round " << r;
+    }
+    ASSERT_EQ(a.taskTrace.size(), b.taskTrace.size()) << ctx;
+    for (size_t i = 0; i < a.taskTrace.size(); ++i) {
+        EXPECT_EQ(a.taskTrace[i].round, b.taskTrace[i].round)
+            << ctx << ", trace " << i;
+        EXPECT_EQ(a.taskTrace[i].outcome, b.taskTrace[i].outcome)
+            << ctx << ", trace " << i;
+        EXPECT_EQ(a.taskTrace[i].edgesScanned,
+                  b.taskTrace[i].edgesScanned) << ctx << ", trace " << i;
+        EXPECT_EQ(a.taskTrace[i].hubDegree, b.taskTrace[i].hubDegree)
+            << ctx << ", trace " << i;
+    }
+    for (size_t r = 0; r < a.rounds.size(); ++r)
+        EXPECT_EQ(a.rounds[r].edgesScanned, b.rounds[r].edgesScanned)
+            << ctx << ", round " << r;
+}
+
+void
+expectSameStats(const LocatorStats &a, const LocatorStats &b,
+                const std::string &ctx)
+{
+    EXPECT_EQ(a.tasksGenerated, b.tasksGenerated) << ctx;
+    EXPECT_EQ(a.tasksDroppedStartVisited, b.tasksDroppedStartVisited)
+        << ctx;
+    EXPECT_EQ(a.tasksDroppedCollision, b.tasksDroppedCollision) << ctx;
+    EXPECT_EQ(a.tasksDroppedOversize, b.tasksDroppedOversize) << ctx;
+    EXPECT_EQ(a.tasksInterHub, b.tasksInterHub) << ctx;
+    EXPECT_EQ(a.islandsFound, b.islandsFound) << ctx;
+    EXPECT_EQ(a.hubDetectChecks, b.hubDetectChecks) << ctx;
+    EXPECT_EQ(a.adjListFetches, b.adjListFetches) << ctx;
+    EXPECT_EQ(a.edgesScanned, b.edgesScanned) << ctx;
+    EXPECT_EQ(a.edgesScannedWasted, b.edgesScannedWasted) << ctx;
+}
+
+TEST_F(ParityTest, IslandizePartitionIdenticalAcrossThreads)
+{
+    // The commit phase replays aborted tasks against canonical marks,
+    // so not just the partition but EVERY statistic and trace entry
+    // must equal the 1-thread (= pre-refactor sequential) run: the
+    // cycle-level accelerator models consume these stats, and their
+    // modeled latency must not depend on IGCN_THREADS.
+    for (const FamilyCase &fc : graphFamilies()) {
+        LocatorConfig cfg;
+        cfg.recordTrace = true;
+        setGlobalThreads(1);
+        const IslandizationResult base = islandize(fc.graph, cfg);
+
+        for (int threads : kThreadCounts) {
+            const std::string ctx = std::string(fc.name) + " @ " +
+                std::to_string(threads) + " threads";
+            setGlobalThreads(threads);
+            const IslandizationResult isl = islandize(fc.graph, cfg);
+            expectSamePartition(isl, base, ctx);
+            expectSameStats(isl.stats, base.stats, ctx);
+            // And bit-stable across reruns at the same count.
+            const IslandizationResult again = islandize(fc.graph, cfg);
+            expectSamePartition(again, isl, ctx + " (rerun)");
+            expectSameStats(again.stats, isl.stats, ctx + " (rerun)");
+        }
+    }
+}
+
+TEST_F(ParityTest, IslandizeSmallIslandConfigAcrossThreads)
+{
+    // Small cmax exercises the oversize path (break condition B),
+    // where speculative shards re-scan components and the commit
+    // replay has real work to do: partition AND stats must still
+    // match the sequential run exactly.
+    auto hi = hubAndIslandGraph({.numNodes = 1200, .seed = 47});
+    LocatorConfig cfg;
+    cfg.maxIslandSize = 4;
+    cfg.recordTrace = true;
+
+    setGlobalThreads(1);
+    const IslandizationResult base = islandize(hi.graph, cfg);
+
+    for (int threads : kThreadCounts) {
+        setGlobalThreads(threads);
+        const IslandizationResult isl = islandize(hi.graph, cfg);
+        expectSamePartition(isl, base,
+                            "cmax=4 @ " + std::to_string(threads));
+        expectSameStats(isl.stats, base.stats,
+                        "cmax=4 @ " + std::to_string(threads));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property/fuzz: randomized CSR vs. naive dense reference
+// ---------------------------------------------------------------------
+
+/**
+ * Random CSR matrix with adversarial structure: empty rows, isolated
+ * (never-referenced) columns, skewed per-row densities, rectangular
+ * shapes. Duplicate-free by construction (dense origin).
+ */
+DenseMatrix
+randomSparseDense(Rng &rng)
+{
+    const size_t rows = 1 + rng.nextBounded(32);
+    const size_t cols = 1 + rng.nextBounded(32);
+    DenseMatrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        if (rng.nextBool(0.25))
+            continue; // empty row
+        // Power-law row densities: a few heavy rows, many light ones.
+        const double density =
+            static_cast<double>(rng.nextPowerLaw(1, 100, 2.0)) / 100.0;
+        for (size_t c = 0; c < cols; ++c) {
+            if (rng.nextBool(density)) {
+                float v = rng.nextFloat(2.0f);
+                m.at(r, c) = v == 0.0f ? 1.0f : v;
+            }
+        }
+    }
+    return m;
+}
+
+TEST_F(ParityTest, FuzzAgainstNaiveDenseReference)
+{
+    Rng rng(0xF00D);
+    for (int threads : {1, 3, 8}) {
+        setGlobalThreads(threads);
+        for (int iter = 0; iter < 25; ++iter) {
+            const DenseMatrix ad = randomSparseDense(rng);
+            const CsrMatrix a = denseToCsr(ad);
+            DenseMatrix b(ad.cols(), 1 + rng.nextBounded(20));
+            b.fillRandom(rng);
+            const DenseMatrix expected = naiveDenseProduct(ad, b);
+            const std::string ctx = "iter " + std::to_string(iter) +
+                " (" + std::to_string(ad.rows()) + "x" +
+                std::to_string(ad.cols()) + "x" +
+                std::to_string(b.cols()) + ") @ " +
+                std::to_string(threads) + " threads";
+
+            for (const KernelCase &k : kKernels) {
+                const DenseMatrix c = k.fn(a, b, nullptr);
+                EXPECT_LE(maxAbsDiff(c, expected), kTol)
+                    << k.name << ", " << ctx;
+            }
+
+            // Transpose kernel against A^T B; B must have numRows
+            // rows here.
+            DenseMatrix bt(ad.rows(), b.cols());
+            bt.fillRandom(rng);
+            const DenseMatrix t = csrTransposeTimesDense(a, bt);
+            EXPECT_LE(maxAbsDiff(t, naiveDenseTransposeProduct(ad, bt)),
+                      kTol) << "transpose, " << ctx;
+        }
+    }
+}
+
+TEST_F(ParityTest, FuzzIslandizeOnRandomGraphs)
+{
+    // Random graphs with isolated vertices and skewed degrees: the
+    // partition must be identical at 1 and 8 threads.
+    Rng seeds(0xBEEF);
+    for (int iter = 0; iter < 8; ++iter) {
+        const NodeId n = 20 + static_cast<NodeId>(seeds.nextBounded(300));
+        const double deg = 0.5 + 5.0 * seeds.nextDouble();
+        CsrGraph g = erdosRenyi(n, deg, seeds.next());
+        LocatorConfig cfg;
+        cfg.maxIslandSize = 1 + static_cast<NodeId>(seeds.nextBounded(16));
+
+        setGlobalThreads(1);
+        const IslandizationResult base = islandize(g, cfg);
+        setGlobalThreads(8);
+        const IslandizationResult isl = islandize(g, cfg);
+        expectSamePartition(isl, base,
+                            "iter " + std::to_string(iter));
+        expectSameStats(isl.stats, base.stats,
+                        "iter " + std::to_string(iter));
+    }
+}
+
+} // namespace
+} // namespace igcn

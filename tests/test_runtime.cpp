@@ -1,8 +1,8 @@
 /**
  * @file
  * Parallel runtime tests: thread-pool semantics (static partitioning,
- * empty ranges, exception propagation, nested-parallelFor rejection)
- * and thread-count parity of the parallel kernels. Island-node rows,
+ * empty ranges, exception propagation, nested-parallelFor sequential
+ * fallback) and thread-count parity of the parallel kernels. Island-node rows,
  * SpMM and GEMM are bit-identical at every thread count by
  * construction; hub rows re-associate float adds at worker
  * boundaries, so whole-result comparisons use a small tolerance.
@@ -118,26 +118,71 @@ TEST_F(RuntimeTest, ExceptionPropagatesToCaller)
     }
 }
 
-TEST_F(RuntimeTest, NestedParallelForIsRejected)
+TEST_F(RuntimeTest, NestedParallelForFallsBackToSequential)
 {
+    // Regression: a nested parallelFor used to throw std::logic_error;
+    // it must instead run the whole inner range inline as worker 0.
     for (int threads : {1, 4}) {
         ThreadPool pool(threads);
-        EXPECT_THROW(
-            pool.parallelFor(0, 4, [&](int, size_t, size_t) {
-                pool.parallelFor(0, 4, [](int, size_t, size_t) {});
-            }),
-            std::logic_error) << threads << " threads";
+        std::vector<std::atomic<int>> hits(64);
+        std::atomic<int> inner_chunks{0};
+        std::atomic<bool> saw_nonzero_worker{false};
+        pool.parallelFor(0, 4, [&](int, size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+                pool.parallelFor(0, hits.size(),
+                                 [&](int w, size_t a, size_t b) {
+                    inner_chunks++;
+                    if (w != 0)
+                        saw_nonzero_worker = true;
+                    for (size_t j = a; j < b; ++j)
+                        hits[j]++;
+                });
+            }
+        });
+        for (size_t j = 0; j < hits.size(); ++j)
+            ASSERT_EQ(hits[j].load(), 4) << "index " << j << " at "
+                << threads << " threads";
+        // Every nested call ran as exactly one inline chunk.
+        EXPECT_EQ(inner_chunks.load(), 4) << threads << " threads";
+        EXPECT_FALSE(saw_nonzero_worker.load()) << threads << " threads";
     }
 }
 
-TEST_F(RuntimeTest, NestedIntoGlobalPoolIsRejected)
+TEST_F(RuntimeTest, KernelCalledInsideParallelForRunsSequentially)
 {
-    ThreadPool pool(2);
-    EXPECT_THROW(
-        pool.parallelFor(0, 2, [&](int, size_t, size_t) {
-            globalPool().parallelFor(0, 2, [](int, size_t, size_t) {});
-        }),
-        std::logic_error);
+    // Regression for the nested-rejection path: a parallel kernel
+    // (which uses the global pool internally) invoked from inside a
+    // parallelFor body must degrade to its sequential form and still
+    // produce the right answer, not abort.
+    setGlobalThreads(4);
+    Rng rng(55);
+    DenseMatrix a(37, 21), b(21, 13);
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    const DenseMatrix expected = gemm(a, b);
+
+    CsrGraph g = erdosRenyi(300, 5.0, 71);
+    CsrMatrix m = CsrMatrix::fromGraph(g);
+    DenseMatrix y(300, 20);
+    y.fillRandom(rng);
+    const DenseMatrix spmm_expected = spmmPullRowWise(m, y, nullptr);
+
+    std::mutex mu;
+    std::vector<DenseMatrix> gemms, spmms;
+    globalPool().parallelFor(0, 4, [&](int, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            DenseMatrix c = gemm(a, b);
+            DenseMatrix s = spmmPullRowWise(m, y, nullptr);
+            std::lock_guard<std::mutex> lk(mu);
+            gemms.push_back(std::move(c));
+            spmms.push_back(std::move(s));
+        }
+    });
+    ASSERT_EQ(gemms.size(), 4u);
+    for (const DenseMatrix &c : gemms)
+        EXPECT_EQ(c.data(), expected.data());
+    for (const DenseMatrix &s : spmms)
+        EXPECT_EQ(s.data(), spmm_expected.data());
 }
 
 TEST_F(RuntimeTest, GlobalPoolResize)

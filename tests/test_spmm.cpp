@@ -73,6 +73,61 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 8, 33),
                        ::testing::Values(0.5, 4.0, 12.0)));
 
+TEST(Spmm, AllDataflowsAgreeOnSameInput)
+{
+    // The four dataflows compute the same product Xo = A * B and may
+    // only differ in their access counters. Cross-check the variants
+    // directly against each other (not just via the dense reference)
+    // on structurally distinct graphs, including empty rows and
+    // isolated vertices.
+    struct GraphCase
+    {
+        const char *name;
+        CsrGraph graph;
+    };
+    const GraphCase cases[] = {
+        {"hub-island", hubAndIslandGraph({.numNodes = 600,
+                                          .seed = 3}).graph},
+        {"sparse-er", erdosRenyi(400, 0.8, 21)},
+        {"star", starGraph(64)},
+        {"path", pathGraph(50)},
+        {"isolated", CsrGraph::fromEdges(40, {{0, 1}, {2, 3}})},
+    };
+    for (const GraphCase &gc : cases) {
+        CsrMatrix a = CsrMatrix::fromGraph(gc.graph);
+        Rng vrng(31);
+        for (float &v : a.values)
+            v = vrng.nextFloat(2.0f);
+        Rng rng(37);
+        DenseMatrix b(gc.graph.numNodes(), 23);
+        b.fillRandom(rng);
+
+        SpmmCounters base_cnt;
+        const DenseMatrix base = kDataflows[0].fn(a, b, &base_cnt);
+        for (size_t d = 1; d < std::size(kDataflows); ++d) {
+            SpmmCounters cnt;
+            const DenseMatrix c = kDataflows[d].fn(a, b, &cnt);
+            EXPECT_LT(maxAbsDiff(c, base), kTol)
+                << kDataflows[d].name << " vs "
+                << kDataflows[0].name << " on " << gc.name;
+            // Identical arithmetic regardless of loop order.
+            EXPECT_EQ(cnt.macOps, base_cnt.macOps)
+                << kDataflows[d].name << " on " << gc.name;
+        }
+
+        // The transpose kernel on a symmetric adjacency pattern must
+        // agree with the forward product of the transposed values.
+        const DenseMatrix t = csrTransposeTimesDense(a, b);
+        EXPECT_LT(maxAbsDiff(t, spmmPullRowWise(denseToCsr([&] {
+            DenseMatrix at(a.numCols, a.numRows);
+            for (NodeId r = 0; r < a.numRows; ++r)
+                for (EdgeId e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e)
+                    at.at(a.colIdx[e], r) = a.values[e];
+            return at;
+        }()), b, nullptr)), kTol) << "transpose on " << gc.name;
+    }
+}
+
 TEST(Spmm, AccessProfilesMatchTable1)
 {
     // PULL methods read B irregularly; PUSH methods write C
