@@ -21,11 +21,16 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "accel/igcn_model.hpp"
 #include "core/locator.hpp"
@@ -139,6 +144,14 @@ class JsonWriter
     value(double v)
     {
         comma();
+        // JSON has no inf/nan literal; degenerate measurements (e.g.
+        // a zero-time denominator making a speedup ratio inf on a
+        // 1-core container) become null so the document always
+        // parses.
+        if (!std::isfinite(v)) {
+            out += "null";
+            return *this;
+        }
         char buf[40];
         std::snprintf(buf, sizeof(buf), "%.17g", v);
         out += buf;
@@ -219,6 +232,29 @@ class JsonWriter
     std::string out;
     bool first = true;
 };
+
+/**
+ * Process peak resident set size (memory high-water mark) in KiB, 0
+ * where unavailable. Monotonic over the process lifetime, so a
+ * before/after pair around a kernel sweep bounds the sweep's
+ * allocation high-water mark.
+ */
+inline uint64_t
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(ru.ru_maxrss) / 1024; // bytes on mac
+#else
+    return static_cast<uint64_t>(ru.ru_maxrss); // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
 
 /** Banner used by every harness. */
 inline void

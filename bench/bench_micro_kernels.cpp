@@ -3,18 +3,51 @@
  * google-benchmark micro-benchmarks of the library's hot kernels:
  * SpMM dataflows, islandization, island bitmap construction, window
  * op counting, and the island-based aggregation itself.
+ *
+ * The rewritten gather kernels (push outer-product, transpose) sweep
+ * the thread count as a second benchmark argument — the per-kernel
+ * speedup is the time ratio between the 1-thread and N-thread rows —
+ * and report the process memory high-water mark before and after the
+ * run as counters (rss_before_kb / rss_after_kb). Peak RSS is
+ * process-monotonic, so in a full run every benchmark after the
+ * first big one reports the same global high-water mark; to
+ * attribute the mark to one kernel (e.g. to see the speculation
+ * buffers' removal), run it alone via
+ * --benchmark_filter=OuterProduct or =Transpose.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/consumer.hpp"
 #include "core/locator.hpp"
 #include "core/redundancy.hpp"
 #include "graph/generators.hpp"
+#include "runtime/thread_pool.hpp"
 #include "spmm/spmm.hpp"
 
 namespace igcn {
 namespace {
+
+/** Attach before/after peak-RSS counters to a benchmark's report. */
+class RssScope
+{
+  public:
+    explicit RssScope(benchmark::State &state)
+        : st(state), before(bench::peakRssKb())
+    {}
+
+    ~RssScope()
+    {
+        st.counters["rss_before_kb"] = static_cast<double>(before);
+        st.counters["rss_after_kb"] =
+            static_cast<double>(bench::peakRssKb());
+    }
+
+  private:
+    benchmark::State &st;
+    uint64_t before;
+};
 
 const CsrGraph &
 benchGraph()
@@ -51,6 +84,8 @@ BENCHMARK(BM_SpmmPullRowWise)->Arg(16)->Arg(64);
 void
 BM_SpmmPushOuterProduct(benchmark::State &state)
 {
+    RssScope rss(state);
+    setGlobalThreads(static_cast<int>(state.range(1)));
     CsrMatrix a = CsrMatrix::fromGraph(benchGraph());
     Rng rng(1);
     DenseMatrix b(benchGraph().numNodes(),
@@ -62,8 +97,46 @@ BM_SpmmPushOuterProduct(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * a.nnz() *
                             state.range(0));
+    setGlobalThreads(0);
 }
-BENCHMARK(BM_SpmmPushOuterProduct)->Arg(16);
+BENCHMARK(BM_SpmmPushOuterProduct)
+    ->ArgsProduct({{16}, {1, 2, 4}});
+
+void
+BM_CsrTransposeTimesDense(benchmark::State &state)
+{
+    RssScope rss(state);
+    setGlobalThreads(static_cast<int>(state.range(1)));
+    CsrMatrix a = CsrMatrix::fromGraph(benchGraph());
+    Rng rng(1);
+    DenseMatrix b(benchGraph().numNodes(),
+                  static_cast<size_t>(state.range(0)));
+    b.fillRandom(rng);
+    (void)a.csc(); // steady state: the adjunct is built once
+    for (auto _ : state) {
+        DenseMatrix c = csrTransposeTimesDense(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz() *
+                            state.range(0));
+    setGlobalThreads(0);
+}
+BENCHMARK(BM_CsrTransposeTimesDense)
+    ->ArgsProduct({{16}, {1, 2, 4}});
+
+void
+BM_CscAdjunctBuild(benchmark::State &state)
+{
+    // Cost of the one-time CSC construction the cache amortizes away
+    // (the old outer-product kernel paid this on every call).
+    CsrMatrix a = CsrMatrix::fromGraph(benchGraph());
+    for (auto _ : state) {
+        a.invalidateCsc();
+        benchmark::DoNotOptimize(&a.csc());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_CscAdjunctBuild);
 
 void
 BM_Islandize(benchmark::State &state)

@@ -143,6 +143,13 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(c.graph.numEdges()),
                     c.islands.islands.size(), c.islands.numHubs());
 
+        // Memory high-water mark around the sweep: the gather
+        // kernels write output rows directly, so — unlike the old
+        // per-worker speculation buffers (up to 8 x N x C floats) —
+        // the sweep's peak should track a single output matrix plus
+        // the cached CSC adjunct.
+        const uint64_t rss_before_kb = peakRssKb();
+
         std::vector<KernelResult> results;
         results.push_back({"aggregateViaIslands", {}, {}});
         results.push_back({"spmmPullRowWise", {}, {}});
@@ -192,6 +199,7 @@ main(int argc, char **argv)
             }
         }
         setGlobalThreads(0);
+        const uint64_t rss_after_kb = peakRssKb();
 
         json.beginObject();
         json.key("name").value(c.name);
@@ -202,6 +210,8 @@ main(int argc, char **argv)
             static_cast<uint64_t>(c.islands.islands.size()));
         json.key("hubs").value(
             static_cast<uint64_t>(c.islands.numHubs()));
+        json.key("peak_rss_kb_before").value(rss_before_kb);
+        json.key("peak_rss_kb_after").value(rss_after_kb);
         json.key("kernels").beginArray();
 
         std::printf("%-22s", "kernel");
@@ -231,7 +241,10 @@ main(int argc, char **argv)
         }
         json.endArray();
         json.endObject();
-        std::printf("\n");
+        std::printf("peak RSS: %.1f MB before sweep, %.1f MB after "
+                    "(delta %.1f MB)\n\n",
+                    rss_before_kb / 1024.0, rss_after_kb / 1024.0,
+                    (rss_after_kb - rss_before_kb) / 1024.0);
     }
 
     json.endArray();

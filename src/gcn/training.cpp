@@ -155,7 +155,9 @@ trainingBackward(const CsrGraph &g, const IslandizationResult &isl,
                                              &grads.backwardAggOps);
         scaleRows(du, s);
 
-        // dW = X(l)^T dU.
+        // dW = X(l)^T dU. Sparse features gather through the CSC
+        // adjunct cached on x.csr: built on the first backward pass,
+        // reused by every subsequent layer and epoch.
         if (l == 0) {
             grads.weightGrads[l] = x.sparse
                 ? csrTransposeTimesDense(x.csr, du)

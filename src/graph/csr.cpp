@@ -44,6 +44,49 @@ CsrGraph::hasEdge(NodeId u, NodeId v) const
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+void
+transposeCsrIndex(NodeId num_cols, const std::vector<EdgeId> &row_ptr,
+                  const std::vector<NodeId> &col_idx,
+                  std::vector<EdgeId> &out_ptr,
+                  std::vector<NodeId> &out_idx,
+                  const std::vector<float> *values,
+                  std::vector<float> *out_val)
+{
+    // Payloads are carried only when both sides are supplied.
+    const bool carry = values != nullptr && out_val != nullptr;
+    out_ptr.assign(static_cast<size_t>(num_cols) + 1, 0);
+    out_idx.resize(col_idx.size());
+    if (carry)
+        out_val->resize(col_idx.size());
+    for (NodeId v : col_idx)
+        out_ptr[v + 1]++;
+    for (NodeId k = 0; k < num_cols; ++k)
+        out_ptr[k + 1] += out_ptr[k];
+    const NodeId rows = row_ptr.empty()
+        ? 0
+        : static_cast<NodeId>(row_ptr.size() - 1);
+    std::vector<EdgeId> cursor(out_ptr.begin(), out_ptr.end() - 1);
+    for (NodeId i = 0; i < rows; ++i) {
+        for (EdgeId e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const EdgeId slot = cursor[col_idx[e]]++;
+            out_idx[slot] = i;
+            if (carry)
+                (*out_val)[slot] = (*values)[e];
+        }
+    }
+}
+
+const CsrGraph::InEdgeIndex &
+CsrGraph::inEdges() const
+{
+    return inEdgeCache.get([this] {
+        InEdgeIndex idx;
+        transposeCsrIndex(numNodes(), rowPtr, colIdx, idx.inPtr,
+                          idx.srcOf);
+        return idx;
+    });
+}
+
 NodeId
 CsrGraph::maxDegree() const
 {
@@ -64,10 +107,17 @@ CsrGraph::avgDegree() const
 bool
 CsrGraph::isSymmetric() const
 {
-    for (NodeId u = 0; u < numNodes(); ++u)
-        for (NodeId v : neighbors(u))
-            if (!hasEdge(v, u))
-                return false;
+    // Symmetric iff every node's sorted in-neighbor list equals its
+    // sorted out-neighbor list: O(N + E) over the cached in-edge
+    // index instead of a binary search per edge.
+    const InEdgeIndex &idx = inEdges();
+    for (NodeId u = 0; u < numNodes(); ++u) {
+        auto out = neighbors(u);
+        const NodeId *in = idx.srcOf.data() + idx.inPtr[u];
+        if (out.size() != idx.inPtr[u + 1] - idx.inPtr[u] ||
+            !std::equal(out.begin(), out.end(), in))
+            return false;
+    }
     return true;
 }
 

@@ -10,7 +10,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -22,6 +25,109 @@ using EdgeId = uint64_t;
 
 /** A directed edge (src, dst). Undirected graphs store both arcs. */
 using Edge = std::pair<NodeId, NodeId>;
+
+/**
+ * Thread-safe lazily built adjunct slot for derived indexes (the CSC
+ * view of a CSR matrix, the in-edge index of a graph). get(build)
+ * constructs the value exactly once — concurrent first callers
+ * serialize on the slot's mutex and all see the same object — and
+ * returns a reference that stays valid until invalidate().
+ *
+ * An adjunct is derived state, never identity: copies of the owner
+ * start with an empty slot (cheaper to rebuild than to keep
+ * consistent), copy-assignment drops the target's built value so a
+ * reassigned owner cannot serve a stale index, and equality ignores
+ * the slot entirely. Moves *transfer* the built value — the
+ * destination receives exactly the arrays the adjunct describes —
+ * and leave the source slot empty, so a moved-from owner can never
+ * serve an index for contents it no longer has. invalidate() must
+ * not race with readers holding a reference — the same rule as
+ * mutating the owning container itself.
+ */
+template <typename T>
+class LazyAdjunct
+{
+  public:
+    LazyAdjunct() = default;
+    LazyAdjunct(const LazyAdjunct &) noexcept {}
+    LazyAdjunct(LazyAdjunct &&other) noexcept { stealFrom(other); }
+    LazyAdjunct &
+    operator=(const LazyAdjunct &) noexcept
+    {
+        invalidate();
+        return *this;
+    }
+    LazyAdjunct &
+    operator=(LazyAdjunct &&other) noexcept
+    {
+        if (this != &other)
+            stealFrom(other);
+        return *this;
+    }
+
+    /** Adjuncts never participate in the owner's equality. */
+    bool operator==(const LazyAdjunct &) const { return true; }
+
+    /** The built value, constructing it via build() exactly once. */
+    template <typename BuildFn>
+    const T &
+    get(BuildFn &&build) const
+    {
+        // Lock-free once built: per-element accessors (inNeighbors,
+        // inDegree) call get() per query, so the steady-state path
+        // must not serialize parallel traversals on the mutex.
+        if (const T *p = built.load(std::memory_order_acquire))
+            return *p;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!value) {
+            value = std::make_unique<T>(build());
+            built.store(value.get(), std::memory_order_release);
+        }
+        return *value;
+    }
+
+    /** Drop the built value; the next get() rebuilds. */
+    void
+    invalidate() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        built.store(nullptr, std::memory_order_release);
+        value.reset();
+    }
+
+  private:
+    void
+    stealFrom(LazyAdjunct &other)
+    {
+        std::scoped_lock lock(mutex, other.mutex);
+        value = std::move(other.value);
+        built.store(value.get(), std::memory_order_release);
+        other.built.store(nullptr, std::memory_order_release);
+    }
+
+    mutable std::mutex mutex;
+    mutable std::atomic<const T *> built{nullptr};
+    mutable std::unique_ptr<T> value;
+};
+
+/**
+ * Counting-sort transpose of a CSR index (row_ptr, col_idx) with
+ * num_cols columns: fills out_ptr (size num_cols + 1) and out_idx
+ * with the same entries grouped by column; entries within a column
+ * come out in ascending row order because rows are swept ascending.
+ * When values and out_val are supplied, the per-entry payload is
+ * carried to the transposed slot. An empty row_ptr (moved-from
+ * container) is treated as zero rows, yielding an empty but
+ * well-formed index. Shared by CsrGraph::inEdges() and
+ * CsrMatrix::csc() so there is exactly one build loop to maintain.
+ */
+void transposeCsrIndex(NodeId num_cols,
+                       const std::vector<EdgeId> &row_ptr,
+                       const std::vector<NodeId> &col_idx,
+                       std::vector<EdgeId> &out_ptr,
+                       std::vector<NodeId> &out_idx,
+                       const std::vector<float> *values = nullptr,
+                       std::vector<float> *out_val = nullptr);
 
 /**
  * Immutable CSR graph. Neighbor lists are sorted by destination id
@@ -46,8 +152,17 @@ class CsrGraph
                               bool symmetrize = true,
                               bool keep_self_loops = false);
 
-    /** Number of nodes. */
-    NodeId numNodes() const { return static_cast<NodeId>(rowPtr.size() - 1); }
+    /**
+     * Number of nodes. A graph whose rowPtr is empty (moved-from, or
+     * otherwise never built) reports 0 instead of underflowing
+     * rowPtr.size() - 1 to 0xFFFFFFFF.
+     */
+    NodeId
+    numNodes() const
+    {
+        return rowPtr.empty() ? 0
+                              : static_cast<NodeId>(rowPtr.size() - 1);
+    }
 
     /** Number of stored (directed) edges. */
     EdgeId numEdges() const { return static_cast<EdgeId>(colIdx.size()); }
@@ -65,6 +180,38 @@ class CsrGraph
     {
         return {colIdx.data() + rowPtr[v],
                 colIdx.data() + rowPtr[v + 1]};
+    }
+
+    /**
+     * In-edge (reverse adjacency) index: inPtr[v]..inPtr[v+1] spans
+     * the sources of edges into v, sorted ascending. Built lazily on
+     * first use and cached on the graph (thread-safe one-time
+     * construction), so repeated in-edge traversals never rebuild it.
+     */
+    struct InEdgeIndex
+    {
+        std::vector<EdgeId> inPtr; ///< size numNodes + 1
+        std::vector<NodeId> srcOf; ///< source node per in-edge
+    };
+
+    /** The cached in-edge index (lazily built, shared by reference). */
+    const InEdgeIndex &inEdges() const;
+
+    /** Sorted list of nodes with an edge into v. */
+    std::span<const NodeId>
+    inNeighbors(NodeId v) const
+    {
+        const InEdgeIndex &idx = inEdges();
+        return {idx.srcOf.data() + idx.inPtr[v],
+                idx.srcOf.data() + idx.inPtr[v + 1]};
+    }
+
+    /** In-degree of node v. */
+    NodeId
+    inDegree(NodeId v) const
+    {
+        const InEdgeIndex &idx = inEdges();
+        return static_cast<NodeId>(idx.inPtr[v + 1] - idx.inPtr[v]);
     }
 
     /** True if (u, v) is an edge. O(log degree(u)). */
@@ -102,6 +249,7 @@ class CsrGraph
   private:
     std::vector<EdgeId> rowPtr{0};
     std::vector<NodeId> colIdx;
+    LazyAdjunct<InEdgeIndex> inEdgeCache;
 };
 
 /** Histogram of node degrees: result[d] = number of nodes of degree d. */

@@ -95,27 +95,4 @@ gemm(const DenseMatrix &a, const DenseMatrix &b)
     return c;
 }
 
-DenseMatrix
-reduceWorkerBuffers(std::vector<DenseMatrix> &&bufs)
-{
-    if (bufs.empty())
-        return {};
-    DenseMatrix c = std::move(bufs.front());
-    if (bufs.size() == 1)
-        return c;
-    const size_t cols = c.cols();
-    globalPool().parallelFor(0, c.rows(),
-                             [&](int, size_t r0, size_t r1) {
-        for (size_t i = r0; i < r1; ++i) {
-            float *dst = c.row(i);
-            for (size_t w = 1; w < bufs.size(); ++w) {
-                const float *src = bufs[w].row(i);
-                for (size_t ch = 0; ch < cols; ++ch)
-                    dst[ch] += src[ch];
-            }
-        }
-    }, /*min_per_worker=*/16);
-    return c;
-}
-
 } // namespace igcn

@@ -66,14 +66,4 @@ double maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b);
 /** Dense matrix product C = A * B. */
 DenseMatrix gemm(const DenseMatrix &a, const DenseMatrix &b);
 
-/**
- * Merge per-worker accumulator buffers (same shape, typically from
- * parallelAccumulate) into one matrix by summing them in index order,
- * each output row reduced by one worker. The fixed merge order keeps
- * scatter kernels deterministic at any thread count; a single buffer
- * is returned as-is, so the 1-thread path stays bit-identical to the
- * sequential kernel.
- */
-DenseMatrix reduceWorkerBuffers(std::vector<DenseMatrix> &&bufs);
-
 } // namespace igcn

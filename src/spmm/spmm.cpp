@@ -29,6 +29,17 @@ CsrMatrix::toDense() const
     return d;
 }
 
+const CscIndex &
+CsrMatrix::csc() const
+{
+    return cscCache.get([this] {
+        CscIndex idx;
+        transposeCsrIndex(numCols, rowPtr, colIdx, idx.colPtr,
+                          idx.rowOf, &values, &idx.valOf);
+        return idx;
+    });
+}
+
 namespace {
 
 void
@@ -36,6 +47,42 @@ checkShapes(const CsrMatrix &a, const DenseMatrix &b)
 {
     if (a.numCols != b.rows())
         throw std::invalid_argument("SpMM shape mismatch");
+}
+
+/**
+ * Race-free row gather C += M * B over a compressed row index
+ * (ptr, idx, val) — either a matrix's own CSR arrays or its CSC
+ * adjunct (which gathers the transpose). Output rows are sharded
+ * across workers, so every row of C is written by exactly one worker
+ * with no speculation buffers; channels are tiled so each
+ * irregularly-fetched B row contributes one kChannelTile-float slice
+ * per pass. Per output element the entries accumulate in index order
+ * regardless of the split or tiling, so the result is bit-identical
+ * at any thread count.
+ */
+void
+gatherTiled(const std::vector<EdgeId> &ptr,
+            const std::vector<NodeId> &idx,
+            const std::vector<float> &val, const DenseMatrix &b,
+            DenseMatrix &c)
+{
+    const size_t channels = b.cols();
+    constexpr size_t kChannelTile = 64;
+    globalPool().parallelFor(0, c.rows(),
+                             [&](int, size_t r0, size_t r1) {
+        for (size_t ch0 = 0; ch0 < channels; ch0 += kChannelTile) {
+            const size_t ch1 = std::min(channels, ch0 + kChannelTile);
+            for (size_t i = r0; i < r1; ++i) {
+                float *crow = c.row(i);
+                for (EdgeId e = ptr[i]; e < ptr[i + 1]; ++e) {
+                    const float v = val[e];
+                    const float *brow = b.row(idx[e]);
+                    for (size_t ch = ch0; ch < ch1; ++ch)
+                        crow[ch] += v * brow[ch];
+                }
+            }
+        }
+    }, /*min_per_worker=*/16);
 }
 
 } // namespace
@@ -48,28 +95,12 @@ spmmPullRowWise(const CsrMatrix &a, const DenseMatrix &b,
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
 
-    // Rows of C are independent: shard the row range across workers.
-    // Channels are additionally tiled so each irregularly-fetched B
-    // row contributes only a kChannelTile-float slice per pass — far
-    // more distinct B rows stay resident in L1/L2 across the edges of
-    // a row block. Per output element the edge accumulation order is
-    // unchanged, so the result is bit-identical at any thread count.
-    constexpr size_t kChannelTile = 64;
-    globalPool().parallelFor(0, a.numRows,
-                             [&](int, size_t r0, size_t r1) {
-        for (size_t ch0 = 0; ch0 < channels; ch0 += kChannelTile) {
-            const size_t ch1 = std::min(channels, ch0 + kChannelTile);
-            for (size_t i = r0; i < r1; ++i) {
-                float *crow = c.row(i);
-                for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
-                    const float aval = a.values[e];
-                    const float *brow = b.row(a.colIdx[e]);
-                    for (size_t ch = ch0; ch < ch1; ++ch)
-                        crow[ch] += aval * brow[ch];
-                }
-            }
-        }
-    }, /*min_per_worker=*/16);
+    // Rows of C are independent: shard the row range across workers
+    // (gatherTiled), channel-tiled so far more distinct B rows stay
+    // resident in L1/L2 across the edges of a row block. Per output
+    // element the edge accumulation order is unchanged, so the result
+    // is bit-identical at any thread count.
+    gatherTiled(a.rowPtr, a.colIdx, a.values, b, c);
 
     // Counters model the dataflow's access profile (Table 1), which
     // software tiling does not change: each non-zero of A is one A
@@ -174,52 +205,20 @@ spmmPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b,
 {
     checkShapes(a, b);
     const size_t channels = b.cols();
-    // Process non-zeros of A by column k: node k broadcasts its whole
-    // feature row to all nodes i with A(i, k) != 0. We emulate the
-    // column order via a CSC-style traversal built on the fly.
-    std::vector<EdgeId> col_count(a.numCols + 1, 0);
-    for (NodeId v : a.colIdx)
-        col_count[v + 1]++;
-    for (NodeId k = 0; k < a.numCols; ++k)
-        col_count[k + 1] += col_count[k];
-    std::vector<NodeId> row_of(a.nnz());
-    std::vector<float> val_of(a.nnz());
-    {
-        std::vector<EdgeId> cursor(col_count.begin(), col_count.end() - 1);
-        for (NodeId i = 0; i < a.numRows; ++i) {
-            for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
-                EdgeId slot = cursor[a.colIdx[e]]++;
-                row_of[slot] = i;
-                val_of[slot] = a.values[e];
-            }
-        }
-    }
+    DenseMatrix c(a.numRows, channels);
 
-    // The scatter to c.row(row_of[e]) races under column sharding, so
-    // each worker accumulates a private output buffer over its column
-    // range and the buffers are merged in worker-index order
-    // (deterministic at any fixed thread count; one buffer — and
-    // therefore the sequential scatter order — at one thread). The
-    // column grain caps the split at 8 buffers so speculation memory
-    // stays bounded on many-core hosts.
-    const size_t col_grain = std::max<size_t>(
-        64, (static_cast<size_t>(a.numCols) + 7) / 8);
-    ThreadPool &pool = globalPool();
-    std::vector<DenseMatrix> bufs = parallelAccumulate(
-        pool, 0, a.numCols, DenseMatrix(a.numRows, channels),
-        [&](DenseMatrix &part, int, size_t k0, size_t k1) {
-            for (size_t k = k0; k < k1; ++k) {
-                const float *brow = b.row(k);
-                for (EdgeId e = col_count[k]; e < col_count[k + 1];
-                     ++e) {
-                    float *crow = part.row(row_of[e]);
-                    for (size_t ch = 0; ch < channels; ++ch)
-                        crow[ch] += val_of[e] * brow[ch];
-                }
-            }
-        }, col_grain);
-    DenseMatrix c = bufs.empty() ? DenseMatrix(a.numRows, channels)
-                                 : reduceWorkerBuffers(std::move(bufs));
+    // The push outer-product dataflow processes non-zeros of A by
+    // column k — node k broadcasts its whole feature row B(k,:) into
+    // C(i,:) for every A(i,k) != 0 — and that scatter races under
+    // column sharding. Executed as a gather instead, each output row
+    // i pulls exactly its own non-zeros A(i,k) in ascending-k order
+    // (CSR neighbor lists are sorted), which is the same per-element
+    // accumulation order the column sweep produces: workers own
+    // disjoint rows of C, no per-worker speculation buffers and no
+    // per-call CSC rebuild, and the result is bit-identical to the
+    // sequential column-order scatter at any thread count. The
+    // counters below still model the logical push dataflow.
+    gatherTiled(a.rowPtr, a.colIdx, a.values, b, c);
 
     // Per column: one streamed read of the full B row (empty columns
     // included, as the hardware prefetches the broadcast row before
@@ -250,32 +249,19 @@ csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
     if (x.numRows != b.rows())
         throw std::invalid_argument(
             "shape mismatch in csrTransposeTimesDense");
-    const size_t channels = b.cols();
 
-    // C(colIdx[e], :) += values[e] * B(r, :) is a scatter over the
-    // transposed row id: same per-worker-buffer-then-ordered-merge
-    // treatment as spmmPushOuterProduct, sharded over the rows of X.
-    // One buffer at one thread keeps the sequential scatter order
-    // bit-for-bit; the row grain caps speculation at 8 buffers.
-    const size_t row_grain = std::max<size_t>(
-        64, (static_cast<size_t>(x.numRows) + 7) / 8);
-    ThreadPool &pool = globalPool();
-    std::vector<DenseMatrix> bufs = parallelAccumulate(
-        pool, 0, x.numRows, DenseMatrix(x.numCols, channels),
-        [&](DenseMatrix &part, int, size_t r0, size_t r1) {
-            for (size_t r = r0; r < r1; ++r) {
-                const float *brow = b.row(r);
-                for (EdgeId e = x.rowPtr[r]; e < x.rowPtr[r + 1];
-                     ++e) {
-                    float *crow = part.row(x.colIdx[e]);
-                    const float v = x.values[e];
-                    for (size_t ch = 0; ch < channels; ++ch)
-                        crow[ch] += v * brow[ch];
-                }
-            }
-        }, row_grain);
-    return bufs.empty() ? DenseMatrix(x.numCols, channels)
-                        : reduceWorkerBuffers(std::move(bufs));
+    // C(j, :) = sum over non-zeros X(r, j) of X(r, j) * B(r, :): a
+    // scatter in row order, but a race-free gather over the cached
+    // CSC adjunct — column j of X lists exactly the non-zeros of
+    // output row j, in ascending r order (the sequential scatter's
+    // order), so workers own disjoint output rows and the result is
+    // bit-identical to the sequential scatter at any thread count.
+    // The adjunct is built once per matrix and reused across calls
+    // (every training epoch hits this kernel with the same features).
+    const CscIndex &csc = x.csc();
+    DenseMatrix c(x.numCols, b.cols());
+    gatherTiled(csc.colPtr, csc.rowOf, csc.valOf, b, c);
+    return c;
 }
 
 CsrMatrix

@@ -19,6 +19,21 @@
 
 namespace igcn {
 
+/**
+ * Column-major (CSC) adjunct of a CsrMatrix: the same non-zeros
+ * grouped by column, i.e. the transpose view. colPtr[k]..colPtr[k+1]
+ * spans column k; within a column, entries are in ascending row
+ * order (the CSR rows are swept ascending at build time), so a
+ * gather over the CSC replays the row-ascending accumulation order
+ * of a column-order scatter exactly.
+ */
+struct CscIndex
+{
+    std::vector<EdgeId> colPtr; ///< size numCols + 1
+    std::vector<NodeId> rowOf;  ///< row id per non-zero
+    std::vector<float> valOf;   ///< value per non-zero
+};
+
 /** Sparse CSR matrix of floats (adjacency with normalization values). */
 struct CsrMatrix
 {
@@ -35,6 +50,22 @@ struct CsrMatrix
 
     /** Dense copy, for verification on small matrices only. */
     DenseMatrix toDense() const;
+
+    /**
+     * The cached CSC adjunct, built lazily on first use (thread-safe
+     * one-time construction; concurrent first callers all see the
+     * same object). The push-style kernels gather through it instead
+     * of rebuilding a transpose per call. Mutating rowPtr / colIdx /
+     * values after the cache was built requires invalidateCsc();
+     * copies and assignments start with an empty cache.
+     */
+    const CscIndex &csc() const;
+
+    /** Drop the cached CSC (call after mutating the non-zeros). */
+    void invalidateCsc() const { cscCache.invalidate(); }
+
+  private:
+    LazyAdjunct<CscIndex> cscCache;
 };
 
 /**
@@ -101,9 +132,11 @@ DenseMatrix csrTimesDense(const CsrMatrix &x, const DenseMatrix &w,
 /**
  * C = X^T * B for CSR X (rows x k) and dense B (rows x n): the
  * backward-pass weight-gradient kernel for sparse feature matrices.
- * Parallel over rows of X with per-worker output accumulators merged
- * in worker order (bit-identical to the sequential scatter at one
- * thread, deterministic at any fixed thread count).
+ * A race-free gather over X's cached CSC adjunct: workers own
+ * disjoint output rows (columns of X) and each output element
+ * accumulates its column's non-zeros in ascending row order — the
+ * sequential scatter's order — so the result is bit-identical to the
+ * sequential kernel at any thread count.
  */
 DenseMatrix csrTransposeTimesDense(const CsrMatrix &x,
                                    const DenseMatrix &b);

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 
@@ -16,6 +20,33 @@ TEST(CsrGraph, EmptyGraph)
     CsrGraph g = CsrGraph::fromEdges(0, {});
     EXPECT_EQ(g.numNodes(), 0u);
     EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(CsrGraph, DefaultAndMovedFromGraphsReportZeroNodes)
+{
+    // Regression: numNodes() used to compute rowPtr.size() - 1, which
+    // underflows to 0xFFFFFFFF on an empty rowPtr. A default graph
+    // must report 0, and so must a moved-from graph (whose rowPtr is
+    // left empty), instead of sending every numNodes()-bounded loop
+    // on a 4-billion-node walk.
+    CsrGraph def;
+    EXPECT_EQ(def.numNodes(), 0u);
+    EXPECT_EQ(def.numEdges(), 0u);
+    EXPECT_DOUBLE_EQ(def.avgDegree(), 0.0);
+    EXPECT_EQ(def.maxDegree(), 0u);
+    EXPECT_EQ(def.numSelfLoops(), 0u);
+    EXPECT_TRUE(def.isSymmetric());
+
+    CsrGraph donor = CsrGraph::fromEdges(3, {{0, 1}, {1, 2}});
+    CsrGraph sink = std::move(donor);
+    EXPECT_EQ(sink.numNodes(), 3u);
+    EXPECT_EQ(donor.numNodes(), 0u);
+    EXPECT_EQ(donor.numEdges(), 0u);
+    EXPECT_EQ(donor.maxDegree(), 0u);
+    EXPECT_TRUE(degreeHistogram(donor).size() == 1u);
+    auto [comp, n] = connectedComponents(donor);
+    EXPECT_EQ(n, 0u);
+    EXPECT_TRUE(comp.empty());
 }
 
 TEST(CsrGraph, SingleEdgeSymmetrized)
@@ -112,6 +143,57 @@ TEST(CsrGraph, ConnectedComponents)
     EXPECT_EQ(comp[4], comp[5]);
     EXPECT_NE(comp[0], comp[3]);
     EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(CsrGraph, InEdgeIndexMatchesBruteForceReverseAdjacency)
+{
+    // Directed (non-symmetrized) graph so in- and out-adjacency
+    // genuinely differ.
+    CsrGraph g = CsrGraph::fromEdges(
+        5, {{0, 2}, {1, 2}, {3, 2}, {2, 0}, {4, 0}},
+        /*symmetrize=*/false);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        std::vector<NodeId> expected;
+        for (NodeId u = 0; u < g.numNodes(); ++u)
+            if (g.hasEdge(u, v))
+                expected.push_back(u);
+        auto in = g.inNeighbors(v);
+        ASSERT_EQ(in.size(), expected.size()) << "node " << v;
+        EXPECT_TRUE(std::equal(in.begin(), in.end(),
+                               expected.begin())) << "node " << v;
+        EXPECT_EQ(g.inDegree(v), expected.size()) << "node " << v;
+        EXPECT_TRUE(std::is_sorted(in.begin(), in.end()))
+            << "node " << v;
+    }
+    // The index is cached: repeated calls hand back the same object.
+    EXPECT_EQ(&g.inEdges(), &g.inEdges());
+}
+
+TEST(CsrGraph, MoveTransfersCachedInEdgeIndexAndClearsSource)
+{
+    // A move hands the built adjunct to the destination (which now
+    // owns exactly the arrays it describes — no rebuild) and clears
+    // the source slot, so the moved-from graph can never serve an
+    // index for the 3-node contents it no longer has.
+    CsrGraph g = CsrGraph::fromEdges(3, {{0, 1}, {1, 2}});
+    const CsrGraph::InEdgeIndex *built = &g.inEdges();
+    CsrGraph h = std::move(g);
+    EXPECT_EQ(&h.inEdges(), built);
+    EXPECT_EQ(h.inDegree(1), 2u);
+    EXPECT_TRUE(g.inEdges().srcOf.empty());
+    EXPECT_EQ(g.inEdges().inPtr.size(), 1u); // 0 nodes, well-formed
+}
+
+TEST(CsrGraph, InEdgeIndexOnSymmetricGraphEqualsOutAdjacency)
+{
+    CsrGraph g = erdosRenyi(200, 5.0, 7);
+    ASSERT_TRUE(g.isSymmetric());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto out = g.neighbors(v);
+        auto in = g.inNeighbors(v);
+        ASSERT_EQ(in.size(), out.size());
+        EXPECT_TRUE(std::equal(in.begin(), in.end(), out.begin()));
+    }
 }
 
 TEST(Permutation, Validity)

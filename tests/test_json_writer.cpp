@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the bench harness's JsonWriter, in particular the
+ * non-finite-double regression: inf/nan (e.g. speedup ratios from
+ * degenerate timings on a 1-core container) must come out as null,
+ * never as bare `inf`/`nan` that no JSON parser accepts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bench_common.hpp"
+
+namespace igcn::bench {
+namespace {
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("inf").value(std::numeric_limits<double>::infinity());
+    w.key("ninf").value(-std::numeric_limits<double>::infinity());
+    w.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+    w.key("ok").value(2.5);
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"inf\":null,\"ninf\":null,\"nan\":null,\"ok\":2.5}");
+}
+
+TEST(JsonWriter, DivisionArtifactsStayParseable)
+{
+    // The exact shape the scaling bench emits: a speedup ratio whose
+    // denominator was a zero-duration measurement.
+    const double zero = 0.0;
+    JsonWriter w;
+    w.beginObject();
+    w.key("speedup").value(1.0 / zero);
+    w.endObject();
+    EXPECT_EQ(w.str().find("inf"), std::string::npos);
+    EXPECT_EQ(w.str().find("nan"), std::string::npos);
+    EXPECT_NE(w.str().find("null"), std::string::npos);
+}
+
+TEST(JsonWriter, StructureAndCommaPlacement)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").beginArray();
+    w.value("x").value("y");
+    w.endArray();
+    w.key("c").value(true);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[\"x\",\"y\"],\"c\":true}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value("quote\" slash\\ nl\n tab\t ctl\x01");
+    w.endArray();
+    EXPECT_EQ(w.str(),
+              "[\"quote\\\" slash\\\\ nl\\n tab\\t ctl\\u0001\"]");
+}
+
+TEST(JsonWriter, FiniteDoublesRoundTrip)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(0.1);
+    w.endArray();
+    double parsed = 0.0;
+    ASSERT_EQ(std::sscanf(w.str().c_str(), "[%lf]", &parsed), 1);
+    EXPECT_EQ(parsed, 0.1);
+}
+
+} // namespace
+} // namespace igcn::bench

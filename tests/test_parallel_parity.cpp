@@ -10,11 +10,13 @@
  *  - at 1 thread the parallel kernel must be BIT-identical to the
  *    sequential reference (one chunk, one accumulator, same float
  *    order);
- *  - across thread counts results must agree exactly where each
- *    output element keeps its accumulation order (row-wise,
- *    inner-product, column-wise) and within float-reassociation
- *    tolerance where per-worker buffers re-associate at merge
- *    boundaries (outer-product, transpose);
+ *  - across thread counts results must agree exactly: since the
+ *    push-style kernels became race-free gathers over the cached CSC
+ *    adjunct, every output element of every dataflow keeps its
+ *    sequential accumulation order, so all five SpMM kernels are
+ *    bit-identical at any thread count (a stronger property than the
+ *    float-reassociation tolerance the old per-worker-buffer scatter
+ *    versions guaranteed — which these tests also still imply);
  *  - hardware access counters are arithmetic and must be exact at
  *    every thread count;
  *  - islandize must reproduce the sequential execution exactly at
@@ -32,6 +34,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "core/locator.hpp"
@@ -241,8 +245,11 @@ struct KernelCase
     const char *name;
     SpmmFn fn;
     SeqFn seq;
-    /** Result is bit-identical at every thread count (no per-worker
-     *  buffer merge re-associates the accumulation). */
+    /** Result is bit-identical at every thread count (every output
+     *  element keeps its sequential accumulation order under
+     *  sharding). True for all four dataflows now that the
+     *  outer-product runs as a race-free row gather instead of a
+     *  buffered column scatter. */
     bool bitExactAcrossThreads;
 };
 
@@ -253,7 +260,7 @@ const KernelCase kKernels[] = {
     {"push-column-wise", &spmmPushColumnWise, &seqPushColumnWise,
      true},
     {"push-outer-product", &spmmPushOuterProduct,
-     &seqPushOuterProduct, false},
+     &seqPushOuterProduct, true},
 };
 
 TEST_F(ParityTest, SpmmDataflowsMatchSequentialAcrossThreads)
@@ -309,12 +316,158 @@ TEST_F(ParityTest, CsrTransposeTimesDenseMatchesSequentialAcrossThreads)
         for (int threads : kThreadCounts) {
             setGlobalThreads(threads);
             const DenseMatrix c = csrTransposeTimesDense(a, b);
+            // Tolerance-equality required, bit-identity delivered:
+            // each output row gathers its CSC column in ascending
+            // row order at every thread count.
             EXPECT_LE(maxAbsDiff(c, base), kTol)
+                << fc.name << " @ " << threads << " threads";
+            EXPECT_EQ(c.data(), base.data())
                 << fc.name << " @ " << threads << " threads";
             const DenseMatrix c2 = csrTransposeTimesDense(a, b);
             EXPECT_EQ(c2.data(), c.data())
                 << fc.name << " @ " << threads << " threads (rerun)";
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSC adjunct cache invariants
+// ---------------------------------------------------------------------
+
+/** From-scratch CSC transpose with the pre-refactor build loop. */
+CscIndex
+referenceCsc(const CsrMatrix &a)
+{
+    CscIndex idx;
+    idx.colPtr.assign(static_cast<size_t>(a.numCols) + 1, 0);
+    idx.rowOf.resize(a.nnz());
+    idx.valOf.resize(a.nnz());
+    for (NodeId v : a.colIdx)
+        idx.colPtr[v + 1]++;
+    for (NodeId k = 0; k < a.numCols; ++k)
+        idx.colPtr[k + 1] += idx.colPtr[k];
+    std::vector<EdgeId> cursor(idx.colPtr.begin(),
+                               idx.colPtr.end() - 1);
+    for (NodeId i = 0; i < a.numRows; ++i) {
+        for (EdgeId e = a.rowPtr[i]; e < a.rowPtr[i + 1]; ++e) {
+            const EdgeId slot = cursor[a.colIdx[e]]++;
+            idx.rowOf[slot] = i;
+            idx.valOf[slot] = a.values[e];
+        }
+    }
+    return idx;
+}
+
+TEST_F(ParityTest, CscAdjunctMatchesFromScratchTranspose)
+{
+    for (const FamilyCase &fc : graphFamilies()) {
+        CsrMatrix a;
+        DenseMatrix b;
+        makeOperands(fc.graph, a, b);
+        const CscIndex ref = referenceCsc(a);
+        const CscIndex &csc = a.csc();
+        EXPECT_EQ(csc.colPtr, ref.colPtr) << fc.name;
+        EXPECT_EQ(csc.rowOf, ref.rowOf) << fc.name;
+        EXPECT_EQ(csc.valOf, ref.valOf) << fc.name;
+        // Cached: the same object is handed back on every call.
+        EXPECT_EQ(&a.csc(), &csc) << fc.name;
+    }
+}
+
+TEST_F(ParityTest, CscAdjunctBuildsOnceUnderConcurrentFirstUse)
+{
+    CsrMatrix a;
+    DenseMatrix b;
+    makeOperands(graphFamilies().front().graph, a, b);
+    const CscIndex ref = referenceCsc(a);
+
+    constexpr int kThreads = 8;
+    std::vector<const CscIndex *> seen(kThreads, nullptr);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Barrier so all first uses really race.
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {}
+            seen[t] = &a.csc();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_NE(seen[t], nullptr) << "thread " << t;
+        // One-time construction: every concurrent first caller saw
+        // the same built object.
+        EXPECT_EQ(seen[t], seen[0]) << "thread " << t;
+    }
+    EXPECT_EQ(seen[0]->colPtr, ref.colPtr);
+    EXPECT_EQ(seen[0]->rowOf, ref.rowOf);
+    EXPECT_EQ(seen[0]->valOf, ref.valOf);
+}
+
+TEST_F(ParityTest, CscAdjunctInvalidatesOnMutationAndAssignment)
+{
+    CsrMatrix a = denseToCsr([] {
+        Rng rng(5);
+        DenseMatrix m(12, 9);
+        m.fillRandomSparse(rng, 0.3);
+        return m;
+    }());
+    (void)a.csc(); // build
+
+    // Mutating the non-zeros + invalidateCsc() rebuilds on next use.
+    for (float &v : a.values)
+        v *= 2.0f;
+    a.invalidateCsc();
+    const CscIndex fresh = referenceCsc(a);
+    EXPECT_EQ(a.csc().valOf, fresh.valOf);
+
+    // Assignment drops the target's cache: the reassigned matrix
+    // must serve its new transpose, not the stale one.
+    CsrMatrix other = denseToCsr([] {
+        Rng rng(6);
+        DenseMatrix m(7, 15);
+        m.fillRandomSparse(rng, 0.4);
+        return m;
+    }());
+    (void)other.csc();
+    other = a;
+    const CscIndex &after = other.csc();
+    EXPECT_EQ(after.colPtr, a.csc().colPtr);
+    EXPECT_EQ(after.rowOf, a.csc().rowOf);
+    EXPECT_EQ(after.valOf, a.csc().valOf);
+
+    // Copies start with an empty cache and build their own index.
+    EXPECT_NE(&after, &a.csc());
+
+    // Moving transfers the built adjunct (the destination now owns
+    // exactly the arrays it describes — no rebuild), and the
+    // moved-from matrix must not keep serving the old transpose:
+    // its slot is empty and rebuilds to an empty index.
+    CsrMatrix moved = std::move(other);
+    EXPECT_EQ(&moved.csc(), &after);
+    EXPECT_TRUE(other.csc().rowOf.empty());
+    EXPECT_EQ(moved.csc().valOf, fresh.valOf);
+}
+
+TEST_F(ParityTest, TransposeGatherBitIdenticalThroughCachedAndColdCsc)
+{
+    // csrTransposeTimesDense is the kernel that reads the adjunct
+    // (the outer product gathers over the matrix's own CSR arrays):
+    // a cold call (fresh matrix, cache built inside the kernel) and
+    // a warm call (cache primed beforehand) must agree bitwise.
+    for (int threads : {1, 4}) {
+        setGlobalThreads(threads);
+        CsrMatrix cold;
+        DenseMatrix b;
+        makeOperands(graphFamilies().front().graph, cold, b);
+        CsrMatrix warm = cold;
+        (void)warm.csc();
+        EXPECT_EQ(csrTransposeTimesDense(cold, b).data(),
+                  csrTransposeTimesDense(warm, b).data())
+            << threads << " threads";
     }
 }
 

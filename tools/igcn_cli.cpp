@@ -18,7 +18,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <string>
 
 #include "accel/awbgcn_model.hpp"
@@ -30,53 +29,12 @@
 #include "graph/io.hpp"
 #include "reorder/reorder.hpp"
 
+#include "args.hpp"
+
 using namespace igcn;
+using igcn::cli::Args;
 
 namespace {
-
-/** Minimal --flag value argument parser. */
-class Args
-{
-  public:
-    Args(int argc, char **argv)
-    {
-        for (int i = 2; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) == 0 && i + 1 < argc &&
-                std::string(argv[i + 1]).rfind("--", 0) != 0) {
-                values[key.substr(2)] = argv[++i];
-            } else if (key.rfind("--", 0) == 0) {
-                values[key.substr(2)] = "1";
-            }
-        }
-    }
-
-    std::string
-    get(const std::string &key, const std::string &fallback = "") const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? fallback : it->second;
-    }
-
-    bool has(const std::string &key) const { return values.count(key); }
-
-    long
-    getInt(const std::string &key, long fallback) const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? fallback : std::stol(it->second);
-    }
-
-    double
-    getDouble(const std::string &key, double fallback) const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? fallback : std::stod(it->second);
-    }
-
-  private:
-    std::map<std::string, std::string> values;
-};
 
 int
 usage()
@@ -289,6 +247,12 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
     Args args(argc, argv);
+    if (!args.errors().empty()) {
+        for (const std::string &e : args.errors())
+            std::fprintf(stderr, "igcn %s: %s\n", cmd.c_str(),
+                         e.c_str());
+        return usage();
+    }
     try {
         if (cmd == "generate") return cmdGenerate(args);
         if (cmd == "info") return cmdInfo(args);
