@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Serving benchmark: throughput and tail latency of the online
+ * inference server versus micro-batch cap and update rate, per
+ * dataset surrogate.
+ *
+ * Each configuration replays a deterministic synthetic trace (skewed
+ * node popularity, bursty arrivals, interleaved edge additions)
+ * through a fresh Server in virtual-clock mode. Latency percentiles
+ * come from the virtual clock (deterministic: batch formation is a
+ * pure function of trace timestamps, service times from the cost
+ * model); wall-clock throughput measures the real execution of the
+ * same replay — extraction, sub-CSR builds, SpMM forward passes, and
+ * incremental islandization repairs all run for real on the thread
+ * pool.
+ *
+ * Usage: bench_serving [--quick]
+ * Writes BENCH_serving.json (JsonWriter; CI parses it as a gate).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gcn/models.hpp"
+#include "gcn/reference.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+
+using namespace igcn;
+using namespace igcn::bench;
+
+namespace {
+
+struct SweepPoint
+{
+    uint32_t batchCap;
+    double updateRate;
+};
+
+struct DatasetCase
+{
+    Dataset dataset;
+    const char *name;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    banner("serving",
+           "online inference: throughput & tail latency vs batch cap "
+           "and update rate");
+
+    const uint64_t num_inference = quick ? 1500 : 10000;
+    const std::vector<SweepPoint> points = quick
+        ? std::vector<SweepPoint>{{8, 0.0}, {32, 0.1}}
+        : std::vector<SweepPoint>{{1, 0.0},  {8, 0.0},  {32, 0.0},
+                                  {128, 0.0}, {8, 0.05}, {32, 0.05},
+                                  {32, 0.2},  {128, 0.2}};
+    const std::vector<DatasetCase> cases = quick
+        ? std::vector<DatasetCase>{{Dataset::Cora, "cora"}}
+        : std::vector<DatasetCase>{{Dataset::Cora, "cora"},
+                                   {Dataset::Pubmed, "pubmed"}};
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("serving");
+    json.key("quick").value(quick);
+    json.key("requests").value(num_inference);
+    json.key("datasets").beginArray();
+
+    for (const DatasetCase &c : cases) {
+        DatasetGraph data = buildDataset(c.dataset, datasetScale(c.dataset));
+        Rng rng(7);
+        Features x = makeFeatures(data.graph.numNodes(),
+                                  data.info.numFeatures,
+                                  data.info.featureDensity, rng);
+        if (x.sparse) {
+            std::printf("%s: sparse features; skipped (serving engine "
+                        "is dense-feature)\n", c.name);
+            continue;
+        }
+        ModelConfig mc =
+            modelConfig(Model::GCN, NetConfig::Algo, data.info);
+        std::vector<DenseMatrix> weights = makeWeights(mc, rng);
+
+        std::printf("%s: %u nodes, %llu edges, %d features, %d "
+                    "layers\n",
+                    c.name, data.graph.numNodes(),
+                    static_cast<unsigned long long>(
+                        data.graph.numEdges()),
+                    data.info.numFeatures, mc.numLayers());
+        std::printf("  %-9s %-8s | %9s %9s | %8s %8s %8s | %s\n",
+                    "batch-cap", "upd-rate", "wall-rps", "virt-rps",
+                    "p50us", "p95us", "p99us", "mean-batch");
+
+        json.beginObject();
+        json.key("name").value(c.name);
+        json.key("nodes").value(
+            static_cast<uint64_t>(data.graph.numNodes()));
+        json.key("edges").value(data.graph.numEdges());
+        json.key("layers").value(mc.numLayers());
+        json.key("configs").beginArray();
+
+        for (const SweepPoint &p : points) {
+            serve::TraceConfig tc;
+            tc.numInference = num_inference;
+            tc.numUpdates = static_cast<uint64_t>(
+                p.updateRate * static_cast<double>(num_inference));
+            tc.seed = 11;
+            std::vector<serve::Request> trace =
+                serve::makeSyntheticTrace(data.graph, tc);
+
+            serve::ServerConfig sc;
+            sc.scheduler.maxBatch = p.batchCap;
+            serve::Server server(data.graph, x.dense, weights, sc);
+
+            const auto t0 = std::chrono::steady_clock::now();
+            serve::ReplayReport rep =
+                server.runTrace(std::move(trace));
+            const double wall_s = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      t0)
+                                      .count();
+
+            const serve::ServerStats &st = server.stats();
+            const serve::LatencySummary lat = st.inferenceLatency();
+            const double wall_rps =
+                static_cast<double>(rep.inference.size()) / wall_s;
+
+            std::printf("  %-9u %-8.2f | %9.0f %9.0f | %8.0f %8.0f "
+                        "%8.0f | %6.1f\n",
+                        p.batchCap, p.updateRate, wall_rps,
+                        st.throughputRps(), lat.p50, lat.p95, lat.p99,
+                        st.meanBatchSize());
+
+            json.beginObject();
+            json.key("batch_cap").value(
+                static_cast<uint64_t>(p.batchCap));
+            json.key("update_rate").value(p.updateRate);
+            json.key("updates").value(tc.numUpdates);
+            json.key("wall_seconds").value(wall_s);
+            json.key("wall_rps").value(wall_rps);
+            json.key("virtual_rps").value(st.throughputRps());
+            json.key("latency_p50_us").value(lat.p50);
+            json.key("latency_p95_us").value(lat.p95);
+            json.key("latency_p99_us").value(lat.p99);
+            json.key("latency_mean_us").value(lat.meanUs);
+            json.key("mean_batch").value(st.meanBatchSize());
+            json.key("inference_batches").value(st.inferenceBatches());
+            json.key("whole_graph_batches").value(
+                st.wholeGraphBatches());
+            json.key("update_applications").value(
+                st.updateApplications());
+            json.key("epochs").value(st.epochsPublished());
+            json.key("edges_applied").value(st.edgesApplied());
+            json.key("interleaves").value(st.interleaves());
+            json.key("mean_subgraph_nodes").value(
+                st.meanSubgraphNodes());
+            json.endObject();
+        }
+        json.endArray(); // configs
+        json.key("peak_rss_kb").value(peakRssKb());
+        json.endObject();
+        std::printf("\n");
+    }
+    json.endArray(); // datasets
+    json.endObject();
+
+    if (!json.writeFile("BENCH_serving.json"))
+        std::printf("WARNING: could not write BENCH_serving.json\n");
+    else
+        std::printf("wrote BENCH_serving.json\n");
+    return 0;
+}

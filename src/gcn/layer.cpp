@@ -1,6 +1,7 @@
 #include "gcn/layer.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "runtime/thread_pool.hpp"
 
@@ -31,11 +32,26 @@ scaleRows(DenseMatrix &m, const std::vector<float> &s)
 CsrMatrix
 normalizedAdjacency(const CsrGraph &g)
 {
-    std::vector<float> s = degreeScaling(g);
+    return normalizedAdjacencyScaled(g, degreeScaling(g));
+}
+
+CsrMatrix
+normalizedAdjacencyScaled(const CsrGraph &g, const std::vector<float> &s)
+{
     CsrMatrix m;
+    refreshNormalizedAdjacency(m, g, s);
+    return m;
+}
+
+void
+refreshNormalizedAdjacency(CsrMatrix &m, const CsrGraph &g,
+                           const std::vector<float> &s)
+{
     m.numRows = g.numNodes();
     m.numCols = g.numNodes();
     m.rowPtr.assign(g.numNodes() + 1, 0);
+    m.colIdx.clear();
+    m.values.clear();
     for (NodeId u = 0; u < g.numNodes(); ++u) {
         bool self_inserted = false;
         for (NodeId v : g.neighbors(u)) {
@@ -55,7 +71,25 @@ normalizedAdjacency(const CsrGraph &g)
         }
         m.rowPtr[u + 1] = m.colIdx.size();
     }
-    return m;
+    m.invalidateCsc();
+}
+
+DenseMatrix
+subgraphForward(const CsrGraph &sub, const std::vector<float> &scale,
+                const DenseMatrix &x,
+                const std::vector<DenseMatrix> &weights)
+{
+    if (weights.empty())
+        throw std::invalid_argument("no layers");
+    CsrMatrix a_hat = normalizedAdjacencyScaled(sub, scale);
+    DenseMatrix current;
+    for (size_t l = 0; l < weights.size(); ++l) {
+        DenseMatrix xw = gemm(l == 0 ? x : current, weights[l]);
+        current = spmmPullRowWise(a_hat, xw);
+        if (l + 1 < weights.size())
+            reluInPlace(current);
+    }
+    return current;
 }
 
 CsrMatrix

@@ -31,6 +31,41 @@ void scaleRows(DenseMatrix &m, const std::vector<float> &s);
  */
 CsrMatrix normalizedAdjacency(const CsrGraph &g);
 
+/**
+ * A_hat of g with caller-supplied scaling: entry (u, v) = s[u]*s[v],
+ * self loop s[u]^2 inserted at its sorted position. Equal to
+ * normalizedAdjacency when s = degreeScaling(g). The serving engine
+ * passes *full-graph* scaling for an extracted receptive subgraph, so
+ * fringe truncation never changes a node's normalization.
+ */
+CsrMatrix normalizedAdjacencyScaled(const CsrGraph &g,
+                                    const std::vector<float> &s);
+
+/**
+ * Rebuild a_hat from (g, s) in place, reusing its storage across
+ * epochs and dropping its cached CSC adjunct (mutating the non-zero
+ * arrays of a CsrMatrix requires invalidateCsc; this is the one
+ * mutation path the online update applier uses).
+ */
+void refreshNormalizedAdjacency(CsrMatrix &a_hat, const CsrGraph &g,
+                                const std::vector<float> &s);
+
+/**
+ * Batched-subgraph forward entry point: the referenceForward layer
+ * chain (A_hat X W with combination-first order and inter-layer
+ * ReLU) over an extracted L-hop subgraph. `scale` and `x` are the
+ * full-graph degree scaling and input features gathered to the
+ * subgraph's local ids. Kernels, loop orders, and per-row
+ * accumulation order are identical to the whole-graph pass, so rows
+ * of nodes whose L-hop neighborhood is inside the subgraph — in
+ * particular every extraction target — are bit-identical to
+ * referenceForward on the whole graph.
+ */
+DenseMatrix subgraphForward(const CsrGraph &sub,
+                            const std::vector<float> &scale,
+                            const DenseMatrix &x,
+                            const std::vector<DenseMatrix> &weights);
+
 /** Binary adjacency with self loops, A + I (factored path). */
 CsrMatrix binaryAdjacencyWithSelfLoops(const CsrGraph &g);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 namespace igcn {
@@ -37,11 +38,160 @@ CsrGraph::fromEdges(NodeId num_nodes, const std::vector<Edge> &edges,
     return g;
 }
 
+CsrGraph
+CsrGraph::fromCsrArrays(std::vector<EdgeId> row_ptr,
+                        std::vector<NodeId> col_idx)
+{
+    if (row_ptr.empty() || row_ptr.front() != 0 ||
+        row_ptr.back() != col_idx.size())
+        throw std::invalid_argument(
+            "fromCsrArrays: row pointer must start at 0 and end at "
+            "col_idx.size()");
+    const auto n = static_cast<NodeId>(row_ptr.size() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+        if (row_ptr[u] > row_ptr[u + 1])
+            throw std::invalid_argument(
+                "fromCsrArrays: row pointer not monotone");
+        for (EdgeId e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+            if (col_idx[e] >= n)
+                throw std::invalid_argument(
+                    "fromCsrArrays: column id out of range");
+            if (e > row_ptr[u] && col_idx[e] <= col_idx[e - 1])
+                throw std::invalid_argument(
+                    "fromCsrArrays: row columns not strictly "
+                    "ascending");
+        }
+    }
+    CsrGraph g;
+    g.rowPtr = std::move(row_ptr);
+    g.colIdx = std::move(col_idx);
+    return g;
+}
+
+CsrGraph
+CsrGraph::withAddedEdges(std::span<const Edge> added) const
+{
+    const NodeId n = numNodes();
+    std::vector<Edge> arcs;
+    arcs.reserve(added.size() * 2);
+    for (const auto &[u, v] : added) {
+        if (u >= n || v >= n)
+            throw std::out_of_range(
+                "withAddedEdges: endpoint exceeds num_nodes");
+        if (u == v)
+            continue;
+        arcs.emplace_back(u, v);
+        arcs.emplace_back(v, u);
+    }
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+    std::vector<EdgeId> rp(static_cast<size_t>(n) + 1, 0);
+    std::vector<NodeId> ci;
+    ci.reserve(colIdx.size() + arcs.size());
+    size_t ai = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        EdgeId e = rowPtr[u];
+        const EdgeId e1 = rowPtr[u + 1];
+        while (e < e1 || (ai < arcs.size() && arcs[ai].first == u)) {
+            const bool have_added =
+                ai < arcs.size() && arcs[ai].first == u;
+            if (!have_added) {
+                ci.push_back(colIdx[e++]);
+            } else if (e >= e1 || arcs[ai].second < colIdx[e]) {
+                ci.push_back(arcs[ai++].second);
+            } else if (arcs[ai].second == colIdx[e]) {
+                ai++; // arc already present; existing entry wins
+            } else {
+                ci.push_back(colIdx[e++]);
+            }
+        }
+        rp[u + 1] = ci.size();
+    }
+    return fromCsrArrays(std::move(rp), std::move(ci));
+}
+
 bool
 CsrGraph::hasEdge(NodeId u, NodeId v) const
 {
     auto nbrs = neighbors(u);
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<NodeId>
+lHopNodeSet(const CsrGraph &g, std::span<const NodeId> targets,
+            int hops)
+{
+    const NodeId n = g.numNodes();
+    std::vector<uint8_t> in_set(n, 0);
+    std::vector<NodeId> nodes, frontier, next;
+    for (NodeId t : targets) {
+        if (t >= n)
+            throw std::out_of_range(
+                "lHopNodeSet: target exceeds num_nodes");
+        if (!in_set[t]) {
+            in_set[t] = 1;
+            nodes.push_back(t);
+            frontier.push_back(t);
+        }
+    }
+    for (int l = 0; l < hops && !frontier.empty(); ++l) {
+        next.clear();
+        for (NodeId u : frontier)
+            for (NodeId v : g.neighbors(u))
+                if (!in_set[v]) {
+                    in_set[v] = 1;
+                    nodes.push_back(v);
+                    next.push_back(v);
+                }
+        frontier.swap(next);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+}
+
+LHopSubgraph
+inducedSubgraph(const CsrGraph &g, std::vector<NodeId> nodes,
+                std::span<const NodeId> targets)
+{
+    // One binary search decides membership and yields the local id.
+    auto find_local = [&nodes](NodeId v) -> std::optional<NodeId> {
+        auto it = std::lower_bound(nodes.begin(), nodes.end(), v);
+        if (it == nodes.end() || *it != v)
+            return std::nullopt;
+        return static_cast<NodeId>(it - nodes.begin());
+    };
+
+    std::vector<EdgeId> rp(nodes.size() + 1, 0);
+    std::vector<NodeId> ci;
+    for (size_t l = 0; l < nodes.size(); ++l) {
+        // Global neighbor lists are ascending and the relabeling is
+        // monotone, so local rows come out ascending for free.
+        for (NodeId v : g.neighbors(nodes[l]))
+            if (auto local = find_local(v))
+                ci.push_back(*local);
+        rp[l + 1] = ci.size();
+    }
+
+    LHopSubgraph out;
+    out.sub = CsrGraph::fromCsrArrays(std::move(rp), std::move(ci));
+    out.targetLocal.reserve(targets.size());
+    for (NodeId t : targets) {
+        auto local = find_local(t);
+        if (!local)
+            throw std::invalid_argument(
+                "inducedSubgraph: target not in node set");
+        out.targetLocal.push_back(*local);
+    }
+    out.nodes = std::move(nodes);
+    return out;
+}
+
+LHopSubgraph
+extractLHopSubgraph(const CsrGraph &g, std::span<const NodeId> targets,
+                    int hops)
+{
+    return inducedSubgraph(g, lHopNodeSet(g, targets, hops), targets);
 }
 
 void

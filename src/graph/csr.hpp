@@ -153,6 +153,30 @@ class CsrGraph
                               bool keep_self_loops = false);
 
     /**
+     * Adopt prebuilt CSR arrays directly (the O(E) path for callers
+     * that already produce sorted, deduplicated adjacency — subgraph
+     * extraction, merge-based edge insertion). Invariants are
+     * validated in O(E): row_ptr starts at 0, is monotone, and ends
+     * at col_idx.size(); every row's columns are strictly ascending
+     * and < numNodes.
+     *
+     * @throws std::invalid_argument on any violation.
+     */
+    static CsrGraph fromCsrArrays(std::vector<EdgeId> row_ptr,
+                                  std::vector<NodeId> col_idx);
+
+    /**
+     * Copy of this graph with undirected edges added (both arcs).
+     * Duplicates within `added` and edges already present are
+     * absorbed; self loops are dropped; endpoints must be in range.
+     * A per-row merge of the existing sorted adjacency with the
+     * sorted new arcs — O(E + k log k) for k added edges, no
+     * edge-list rebuild — the steady-state mutation path of the
+     * online serving subsystem.
+     */
+    CsrGraph withAddedEdges(std::span<const Edge> added) const;
+
+    /**
      * Number of nodes. A graph whose rowPtr is empty (moved-from, or
      * otherwise never built) reports 0 instead of underflowing
      * rowPtr.size() - 1 to 0xFFFFFFFF.
@@ -251,6 +275,60 @@ class CsrGraph
     std::vector<NodeId> colIdx;
     LazyAdjunct<InEdgeIndex> inEdgeCache;
 };
+
+/**
+ * Receptive field of a micro-batch: the L-hop neighborhood of a set
+ * of target nodes, relabeled to a compact sub-CSR.
+ *
+ * Local ids are assigned by ascending *global* id, so each local
+ * row's neighbor list preserves the global neighbor order exactly —
+ * a forward pass over `sub` accumulates every row in the same order
+ * as the whole-graph pass, which is what makes batched L-hop
+ * inference bit-identical to whole-graph inference for the targets
+ * (see subgraphForward in gcn/layer.hpp).
+ */
+struct LHopSubgraph
+{
+    /** Subgraph nodes as ascending global ids; local id = position. */
+    std::vector<NodeId> nodes;
+    /** Local id of each requested target, in request order. */
+    std::vector<NodeId> targetLocal;
+    /** Induced subgraph over `nodes`, in local ids. */
+    CsrGraph sub;
+};
+
+/**
+ * The L-hop node set alone: ascending global ids of every node
+ * within `hops` of a target. Cheap relative to the sub-CSR build —
+ * callers that may fall back to a whole-graph pass (the serving
+ * engine's wholeGraphFraction check) decide on this before paying
+ * for inducedSubgraph.
+ */
+std::vector<NodeId> lHopNodeSet(const CsrGraph &g,
+                                std::span<const NodeId> targets,
+                                int hops);
+
+/**
+ * Build the induced sub-CSR over `nodes` (ascending global ids, as
+ * produced by lHopNodeSet) and bind `targets` (each must be in
+ * `nodes`; duplicates allowed, one targetLocal entry per occurrence).
+ */
+LHopSubgraph inducedSubgraph(const CsrGraph &g,
+                             std::vector<NodeId> nodes,
+                             std::span<const NodeId> targets);
+
+/**
+ * Extract the L-hop receptive subgraph of `targets` (duplicates
+ * allowed; each occurrence gets a targetLocal entry). hops = L means
+ * every node within distance L of a target is included, which is
+ * exactly the input set an L-layer GCN needs to reproduce the
+ * targets' outputs: after layer l, all nodes within distance L - l
+ * of a target have full-graph-exact values, so after L layers the
+ * targets do. Equivalent to inducedSubgraph over lHopNodeSet.
+ */
+LHopSubgraph extractLHopSubgraph(const CsrGraph &g,
+                                 std::span<const NodeId> targets,
+                                 int hops);
 
 /** Histogram of node degrees: result[d] = number of nodes of degree d. */
 std::vector<EdgeId> degreeHistogram(const CsrGraph &g);

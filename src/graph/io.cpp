@@ -1,11 +1,58 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace igcn {
+
+namespace {
+
+bool
+isBlank(const std::string &line)
+{
+    for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+[[noreturn]] void
+parseError(const std::string &path, size_t lineno, const std::string &what)
+{
+    throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                             ": " + what);
+}
+
+/**
+ * Parse one edge line as exactly two decimal node ids. Returns false
+ * on any malformation (non-numeric tokens, a sign, a missing second
+ * id, trailing tokens); range checking is the caller's job because it
+ * needs num_nodes for the message.
+ */
+bool
+parseEdgeLine(const std::string &line, unsigned long long &u,
+              unsigned long long &v)
+{
+    // A '-' anywhere means a negative id, which istream extraction
+    // into an unsigned type would silently wrap instead of rejecting.
+    if (line.find('-') != std::string::npos)
+        return false;
+    std::istringstream ls(line);
+    if (!(ls >> u >> v))
+        return false;
+    std::string trailing;
+    if (ls >> trailing)
+        return false;
+    return true;
+}
+
+} // namespace
 
 void
 saveEdgeList(const CsrGraph &g, const std::string &path)
@@ -24,17 +71,57 @@ loadEdgeList(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        throw std::runtime_error("cannot open " + path);
-    std::string hash, word;
+        throw std::runtime_error("cannot open " + path + ": " +
+                                 std::strerror(errno));
+
+    std::string line;
+    size_t lineno = 0;
     NodeId num_nodes = 0;
-    if (!(in >> hash >> word >> num_nodes) || hash != "#" ||
-        word != "nodes") {
-        throw std::runtime_error("bad edge list header in " + path);
+    bool have_header = false;
+    while (!have_header && std::getline(in, line)) {
+        ++lineno;
+        if (isBlank(line))
+            continue;
+        std::istringstream hs(line);
+        std::string hash, word;
+        unsigned long long n = 0;
+        std::string trailing;
+        if (!(hs >> hash >> word >> n) || hash != "#" ||
+            word != "nodes" || (hs >> trailing)) {
+            parseError(path, lineno,
+                       "expected header '# nodes N', got '" + line +
+                           "'");
+        }
+        if (n > ~NodeId{0})
+            parseError(path, lineno,
+                       "node count " + std::to_string(n) +
+                           " exceeds the 32-bit id space");
+        num_nodes = static_cast<NodeId>(n);
+        have_header = true;
     }
+    if (!have_header)
+        throw std::runtime_error(path +
+                                 ": missing '# nodes N' header");
+
     std::vector<Edge> edges;
-    NodeId u, v;
-    while (in >> u >> v)
-        edges.emplace_back(u, v);
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (isBlank(line) || line[line.find_first_not_of(" \t")] == '#')
+            continue;
+        unsigned long long u = 0, v = 0;
+        if (!parseEdgeLine(line, u, v))
+            parseError(path, lineno,
+                       "malformed edge line '" + line +
+                           "' (expected 'u v')");
+        if (u >= num_nodes || v >= num_nodes)
+            parseError(path, lineno,
+                       "edge endpoint " +
+                           std::to_string(std::max(u, v)) +
+                           " out of range [0, " +
+                           std::to_string(num_nodes) + ")");
+        edges.emplace_back(static_cast<NodeId>(u),
+                           static_cast<NodeId>(v));
+    }
     // File already stores both arc directions; don't re-symmetrize so
     // that directed test fixtures round-trip exactly.
     return CsrGraph::fromEdges(num_nodes, edges, /*symmetrize=*/false,

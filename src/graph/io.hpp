@@ -15,7 +15,17 @@ namespace igcn {
 /** Write "u v" per line, preceded by a "# nodes N" header. */
 void saveEdgeList(const CsrGraph &g, const std::string &path);
 
-/** Load a graph saved by saveEdgeList. */
+/**
+ * Load a graph saved by saveEdgeList.
+ *
+ * The file must start with a "# nodes N" header (blank lines before
+ * it are allowed); every following non-blank, non-comment line must
+ * be exactly two decimal node ids "u v" with u, v < N. Violations —
+ * unopenable file, missing or malformed header, malformed edge
+ * lines, trailing tokens, negative or out-of-range endpoints — throw
+ * std::runtime_error with the path and 1-based line number, instead
+ * of silently truncating the edge stream at the first bad line.
+ */
 CsrGraph loadEdgeList(const std::string &path);
 
 /**

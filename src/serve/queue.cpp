@@ -1,0 +1,89 @@
+#include "serve/queue.hpp"
+
+#include <chrono>
+
+namespace igcn::serve {
+
+void
+RequestQueue::push(Request r)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        items.push_back(std::move(r));
+    }
+    cv.notify_all();
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        isClosed = true;
+    }
+    cv.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return isClosed;
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return items.size();
+}
+
+RequestQueue::Pop
+RequestQueue::popHead(Request &out)
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return !items.empty() || isClosed; });
+    if (items.empty())
+        return Pop::Closed;
+    out = std::move(items.front());
+    items.pop_front();
+    return Pop::Got;
+}
+
+bool
+RequestQueue::peekHeadArrival(uint64_t &arrival_us) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (items.empty())
+        return false;
+    arrival_us = items.front().arrivalUs;
+    return true;
+}
+
+RequestQueue::Pop
+RequestQueue::popKindBefore(RequestKind kind, uint64_t deadline_us,
+                            bool wait, const NowFn &now_us, Request &out)
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        if (!items.empty()) {
+            const Request &head = items.front();
+            if (head.kind != kind || head.arrivalUs > deadline_us)
+                return Pop::NotReady;
+            out = std::move(items.front());
+            items.pop_front();
+            return Pop::Got;
+        }
+        if (isClosed)
+            return Pop::Closed;
+        if (!wait)
+            return Pop::NotReady;
+        const uint64_t now = now_us();
+        if (now >= deadline_us)
+            return Pop::NotReady;
+        cv.wait_for(lock,
+                    std::chrono::microseconds(deadline_us - now));
+    }
+}
+
+} // namespace igcn::serve

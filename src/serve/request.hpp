@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Request and response types of the online inference server.
+ *
+ * The serving subsystem is the first request-driven execution mode of
+ * the repo: node-level inference requests ("classify node v") and
+ * graph-mutation requests ("add these edges") arrive on a shared FCFS
+ * queue, a scheduler forms micro-batches, and the engine drives the
+ * existing islandization + SpMM stack. Timestamps are microseconds on
+ * the server clock — virtual (trace-supplied) in replay mode, a
+ * steady_clock offset in real-time mode — so the same structures
+ * serve both the deterministic test/replay path and live traffic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "graph/csr.hpp"
+
+namespace igcn::serve {
+
+/** What a request asks the server to do. */
+enum class RequestKind : uint8_t { Inference, Update };
+
+/** One queued request (tagged union over the two kinds). */
+struct Request
+{
+    RequestKind kind = RequestKind::Inference;
+    /** Caller-assigned id, echoed in the matching result. */
+    uint64_t id = 0;
+    /** Arrival time in server microseconds. */
+    uint64_t arrivalUs = 0;
+    /** Target node (Inference only). */
+    NodeId node = 0;
+    /** Undirected edges to add (Update only). */
+    std::vector<Edge> addedEdges;
+};
+
+/** Completed inference request. */
+struct InferenceResult
+{
+    uint64_t id = 0;
+    NodeId node = 0;
+    /** Graph epoch the result was computed against. */
+    uint64_t epoch = 0;
+    /** Output row for the node (numClasses floats). */
+    std::vector<float> logits;
+    uint64_t arrivalUs = 0;
+    /** When the micro-batch left the queue. */
+    uint64_t startUs = 0;
+    /** Completion time; latency = doneUs - arrivalUs. */
+    uint64_t doneUs = 0;
+    /** Size of the micro-batch this request rode in. */
+    uint32_t batchSize = 0;
+};
+
+/** Completed (possibly coalesced) update application. */
+struct UpdateResult
+{
+    /** Id of the first request folded into this application. */
+    uint64_t id = 0;
+    /** Epoch published by this update (unchanged if it was a no-op). */
+    uint64_t epoch = 0;
+    IncrementalStats stats;
+    /** Requests coalesced into the single application. */
+    uint32_t coalesced = 0;
+    /** New undirected edges actually inserted. */
+    size_t edgesApplied = 0;
+    /** Edges dropped: out of range, self loops, duplicates, present. */
+    size_t edgesSkipped = 0;
+    uint64_t arrivalUs = 0;
+    uint64_t startUs = 0;
+    uint64_t doneUs = 0;
+};
+
+} // namespace igcn::serve

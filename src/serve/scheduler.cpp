@@ -1,0 +1,66 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace igcn::serve {
+
+Scheduler::Scheduler(RequestQueue &queue, SchedulerConfig cfg,
+                     bool real_time, RequestQueue::NowFn now_us)
+    : queue(queue), cfg(cfg), realTime(real_time),
+      nowUs(std::move(now_us))
+{
+    if (realTime && !nowUs)
+        throw std::invalid_argument(
+            "Scheduler: real_time mode requires a now_us clock");
+}
+
+bool
+Scheduler::next(uint64_t not_before_us, MicroBatch &out)
+{
+    Request first;
+    if (queue.popHead(first) == RequestQueue::Pop::Closed)
+        return false;
+
+    const uint64_t start = std::max(not_before_us, first.arrivalUs);
+    const uint64_t deadline = start + cfg.maxWaitUs;
+    const uint32_t cap = first.kind == RequestKind::Inference
+        ? std::max<uint32_t>(1, cfg.maxBatch)
+        : std::max<uint32_t>(1, cfg.maxUpdateCoalesce);
+
+    out.kind = first.kind;
+    out.requests.clear();
+    out.requests.push_back(std::move(first));
+    Request r;
+    while (out.requests.size() < cap &&
+           queue.popKindBefore(out.kind, deadline, realTime, nowUs,
+                               r) == RequestQueue::Pop::Got)
+        out.requests.push_back(std::move(r));
+
+    if (realTime) {
+        out.formedAtUs = nowUs(); // the actual dispatch moment
+        return true;
+    }
+    // Virtual dispatch time: a full batch leaves the moment its last
+    // member arrived. A partial batch leaves as soon as the scheduler
+    // can know nothing more will join it — when the closing request
+    // (the queued head of the other kind, or a same-kind head past
+    // the deadline) arrived, when the stream ended (queue closed), or
+    // at the batching deadline, whichever is earliest.
+    if (out.requests.size() == cap) {
+        out.formedAtUs = std::max(start, out.requests.back().arrivalUs);
+        return true;
+    }
+    uint64_t head_arrival = 0;
+    if (queue.peekHeadArrival(head_arrival))
+        out.formedAtUs = std::max(start,
+                                  std::min(deadline, head_arrival));
+    else if (queue.closed())
+        out.formedAtUs = std::max(start,
+                                  out.requests.back().arrivalUs);
+    else
+        out.formedAtUs = deadline;
+    return true;
+}
+
+} // namespace igcn::serve

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FCFS micro-batching scheduler.
+ *
+ * Batching rule (the µLLM/vLLM continuous-batching shape adapted to
+ * graph serving): pop the queue head; the batch may start no earlier
+ * than max(engine-busy-until, head arrival); requests of the same
+ * kind arriving before start + maxWaitUs join the batch up to the
+ * kind's size cap. A head of the other kind closes the batch — FCFS
+ * order between inference and updates is never violated, which is
+ * what makes per-request results independent of the batch cap (an
+ * update can never jump ahead of, or fall behind, an inference
+ * request it raced in arrival order). Consecutive updates coalesce
+ * into one application, the exact batched `std::span` pattern
+ * updateIslandization is tested for.
+ *
+ * In virtual mode the decisions above are a pure function of the
+ * trace timestamps and this config — the determinism contract the
+ * test suite locks in across thread counts and batch caps.
+ */
+
+#pragma once
+
+#include "serve/queue.hpp"
+
+namespace igcn::serve {
+
+/** Micro-batching knobs. */
+struct SchedulerConfig
+{
+    /** Inference micro-batch size cap. */
+    uint32_t maxBatch = 32;
+    /** Batching deadline past the batch's earliest possible start. */
+    uint64_t maxWaitUs = 200;
+    /** Consecutive update requests folded into one application. */
+    uint32_t maxUpdateCoalesce = 64;
+};
+
+/** One scheduled micro-batch (all requests share a kind). */
+struct MicroBatch
+{
+    RequestKind kind = RequestKind::Inference;
+    std::vector<Request> requests;
+    /** Dispatch time: when the batch left the queue. */
+    uint64_t formedAtUs = 0;
+};
+
+/** Forms FCFS micro-batches from a RequestQueue. */
+class Scheduler
+{
+  public:
+    /**
+     * @param queue      the queue to drain
+     * @param cfg        batching knobs
+     * @param real_time  block for late arrivals (live traffic) rather
+     *                   than deciding from timestamps (trace replay)
+     * @param now_us     server clock, required when real_time
+     */
+    Scheduler(RequestQueue &queue, SchedulerConfig cfg, bool real_time,
+              RequestQueue::NowFn now_us = {});
+
+    /**
+     * Form the next micro-batch. not_before_us is the engine's
+     * busy-until time (virtual mode; pass the current clock in
+     * real-time mode) — the batch cannot start before it.
+     * @return false when the queue is closed and drained.
+     */
+    bool next(uint64_t not_before_us, MicroBatch &out);
+
+    const SchedulerConfig &config() const { return cfg; }
+
+  private:
+    RequestQueue &queue;
+    SchedulerConfig cfg;
+    bool realTime;
+    RequestQueue::NowFn nowUs;
+};
+
+} // namespace igcn::serve

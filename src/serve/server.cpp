@@ -1,0 +1,182 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace igcn::serve {
+
+uint64_t
+ServiceModel::inferenceCostUs(const BatchExecInfo &info,
+                              NodeId graph_nodes,
+                              EdgeId graph_edges) const
+{
+    const double nodes = info.wholeGraph
+        ? static_cast<double>(graph_nodes)
+        : static_cast<double>(info.subNodes);
+    const double edges = info.wholeGraph
+        ? static_cast<double>(graph_edges)
+        : static_cast<double>(info.subEdges);
+    const double cost = inferenceFixedUs +
+        perTargetUs * static_cast<double>(info.targets) +
+        perSubNodeUs * nodes + perSubEdgeUs * edges;
+    return static_cast<uint64_t>(std::ceil(cost));
+}
+
+uint64_t
+ServiceModel::updateCostUs(const UpdateResult &res) const
+{
+    const double cost = updateFixedUs +
+        perAppliedEdgeUs * static_cast<double>(res.edgesApplied) +
+        perScannedEdgeUs *
+            static_cast<double>(res.stats.edgesScanned);
+    return static_cast<uint64_t>(std::ceil(cost));
+}
+
+Server::Server(CsrGraph g, DenseMatrix features,
+               std::vector<DenseMatrix> weights, ServerConfig cfg)
+    : cfg(cfg),
+      hub(std::make_shared<GraphStateHub>(
+          makeGraphState(std::move(g), cfg.locator))),
+      engine(hub, std::move(features), std::move(weights),
+             cfg.wholeGraphFraction),
+      applier(hub, cfg.locator)
+{}
+
+Server::~Server()
+{
+    if (running)
+        stop();
+}
+
+uint64_t
+Server::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - clockOrigin)
+            .count());
+}
+
+void
+Server::processBatch(const MicroBatch &batch, bool real_time,
+                     uint64_t &busy_until_us)
+{
+    if (batch.kind == RequestKind::Inference) {
+        BatchExecInfo info;
+        std::vector<InferenceResult> results =
+            engine.runBatch(batch.requests, &info);
+        const auto state = hub->acquire();
+        const uint64_t done = real_time
+            ? nowUs()
+            : batch.formedAtUs +
+                cfg.service.inferenceCostUs(info,
+                                            state->graph.numNodes(),
+                                            state->graph.numEdges());
+        for (InferenceResult &r : results) {
+            r.startUs = batch.formedAtUs;
+            r.doneUs = done;
+            statsAcc.recordInference(r);
+            report.inference.push_back(std::move(r));
+        }
+        statsAcc.recordInferenceBatch(info);
+        busy_until_us = done;
+    } else {
+        UpdateResult res = applier.apply(batch.requests);
+        res.startUs = batch.formedAtUs;
+        res.doneUs = real_time
+            ? nowUs()
+            : batch.formedAtUs + cfg.service.updateCostUs(res);
+        statsAcc.recordUpdate(res);
+        busy_until_us = res.doneUs;
+        report.updates.push_back(std::move(res));
+    }
+}
+
+ReplayReport
+Server::runTrace(std::vector<Request> trace)
+{
+    if (running)
+        throw std::logic_error(
+            "runTrace: real-time server is running");
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrivalUs < b.arrivalUs;
+                     });
+    RequestQueue queue;
+    for (Request &r : trace)
+        queue.push(std::move(r));
+    queue.close();
+
+    Scheduler scheduler(queue, cfg.scheduler, /*real_time=*/false);
+    uint64_t busy = 0;
+    MicroBatch batch;
+    report = ReplayReport{};
+    statsAcc = ServerStats{}; // each run reports its own telemetry
+    while (scheduler.next(busy, batch))
+        processBatch(batch, /*real_time=*/false, busy);
+    return std::move(report);
+}
+
+void
+Server::start()
+{
+    if (running)
+        throw std::logic_error("start: already running");
+    running = true;
+    clockOrigin = std::chrono::steady_clock::now();
+    report = ReplayReport{};
+    statsAcc = ServerStats{};
+    schedulerThread = std::thread([this] {
+        Scheduler scheduler(liveQueue, cfg.scheduler,
+                            /*real_time=*/true,
+                            [this] { return nowUs(); });
+        MicroBatch batch;
+        uint64_t busy = 0;
+        while (scheduler.next(nowUs(), batch))
+            processBatch(batch, /*real_time=*/true, busy);
+    });
+}
+
+uint64_t
+Server::submitInference(NodeId node)
+{
+    if (!running)
+        throw std::logic_error("submitInference: server not running");
+    Request r;
+    r.kind = RequestKind::Inference;
+    r.id = nextId.fetch_add(1);
+    r.arrivalUs = nowUs();
+    r.node = node;
+    const uint64_t id = r.id;
+    liveQueue.push(std::move(r));
+    return id;
+}
+
+uint64_t
+Server::submitUpdate(std::vector<Edge> edges)
+{
+    if (!running)
+        throw std::logic_error("submitUpdate: server not running");
+    Request r;
+    r.kind = RequestKind::Update;
+    r.id = nextId.fetch_add(1);
+    r.arrivalUs = nowUs();
+    r.addedEdges = std::move(edges);
+    const uint64_t id = r.id;
+    liveQueue.push(std::move(r));
+    return id;
+}
+
+ReplayReport
+Server::stop()
+{
+    if (!running)
+        throw std::logic_error("stop: server not running");
+    liveQueue.close();
+    schedulerThread.join();
+    running = false;
+    return std::move(report);
+}
+
+} // namespace igcn::serve

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The online inference server: queue -> FCFS scheduler -> micro-
+ * batched L-hop inference engine, with updates interleaved as graph
+ * epochs (see DESIGN.md section 4).
+ *
+ * Two execution modes share every component:
+ *
+ *  - **Virtual-clock replay** (runTrace): the trace supplies arrival
+ *    timestamps, batch formation is a pure function of those
+ *    timestamps and the scheduler config, and completion times come
+ *    from a deterministic service-cost model — so results, epochs,
+ *    batch composition, and every latency number are bit-reproducible
+ *    across runs and IGCN_THREADS settings (the kernels underneath
+ *    are bit-identical at any thread count). This is the testing and
+ *    benchmarking contract.
+ *
+ *  - **Real-time serving** (start / submit / stop): producers submit
+ *    requests stamped with the live server clock; a scheduler thread
+ *    forms batches with real deadline waits and measures wall-clock
+ *    latencies. Same queue, scheduler, engine, and applier.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/stats.hpp"
+#include "serve/update.hpp"
+
+namespace igcn::serve {
+
+/**
+ * Deterministic virtual service-cost model: completion time of a
+ * batch = dispatch time + a cost affine in the work actually done
+ * (targets, receptive-field size, islandization repair effort). All
+ * inputs are exact integers from the execution, so replay timing is
+ * reproducible to the microsecond.
+ */
+struct ServiceModel
+{
+    double inferenceFixedUs = 5.0;
+    double perTargetUs = 0.5;
+    double perSubNodeUs = 0.02;
+    double perSubEdgeUs = 0.005;
+    double updateFixedUs = 20.0;
+    double perAppliedEdgeUs = 1.0;
+    double perScannedEdgeUs = 0.02;
+
+    uint64_t inferenceCostUs(const BatchExecInfo &info,
+                             NodeId graph_nodes,
+                             EdgeId graph_edges) const;
+    uint64_t updateCostUs(const UpdateResult &res) const;
+};
+
+/** Full server configuration. */
+struct ServerConfig
+{
+    SchedulerConfig scheduler;
+    LocatorConfig locator;
+    ServiceModel service;
+    /** Receptive-field fraction above which the engine goes whole-graph. */
+    double wholeGraphFraction = 0.5;
+};
+
+/** Everything a run produced, in dispatch order. */
+struct ReplayReport
+{
+    std::vector<InferenceResult> inference;
+    std::vector<UpdateResult> updates;
+};
+
+/** See file comment. */
+class Server
+{
+  public:
+    Server(CsrGraph g, DenseMatrix features,
+           std::vector<DenseMatrix> weights, ServerConfig cfg = {});
+    ~Server();
+
+    /**
+     * Virtual-clock replay of a complete trace (sorted by arrival;
+     * sorted here defensively). Deterministic; see file comment.
+     */
+    ReplayReport runTrace(std::vector<Request> trace);
+
+    /** Start the real-time scheduler thread. */
+    void start();
+    /** Submit a live inference request; returns its id. */
+    uint64_t submitInference(NodeId node);
+    /** Submit a live edge-addition request; returns its id. */
+    uint64_t submitUpdate(std::vector<Edge> edges);
+    /** Close the queue, drain it, join the thread, return results. */
+    ReplayReport stop();
+
+    const ServerStats &stats() const { return statsAcc; }
+    std::shared_ptr<GraphStateHub> stateHub() { return hub; }
+    uint64_t currentEpoch() const { return hub->currentEpoch(); }
+
+  private:
+    void processBatch(const MicroBatch &batch, bool real_time,
+                      uint64_t &busy_until_us);
+    uint64_t nowUs() const;
+
+    ServerConfig cfg;
+    std::shared_ptr<GraphStateHub> hub;
+    InferenceEngine engine;
+    UpdateApplier applier;
+    ServerStats statsAcc;
+    ReplayReport report;
+
+    // Real-time mode state.
+    RequestQueue liveQueue;
+    std::thread schedulerThread;
+    std::atomic<uint64_t> nextId{0};
+    std::chrono::steady_clock::time_point clockOrigin;
+    bool running = false;
+};
+
+} // namespace igcn::serve

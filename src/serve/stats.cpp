@@ -1,0 +1,149 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace igcn::serve {
+
+namespace {
+
+LatencySummary
+summarize(std::vector<uint64_t> lat)
+{
+    LatencySummary s;
+    s.count = lat.size();
+    if (lat.empty())
+        return s;
+    std::sort(lat.begin(), lat.end());
+    auto rank = [&lat](double p) {
+        const size_t idx = static_cast<size_t>(
+            std::ceil(p * static_cast<double>(lat.size())));
+        return static_cast<double>(lat[idx == 0 ? 0 : idx - 1]);
+    };
+    s.p50 = rank(0.50);
+    s.p95 = rank(0.95);
+    s.p99 = rank(0.99);
+    double sum = 0;
+    for (uint64_t v : lat)
+        sum += static_cast<double>(v);
+    s.meanUs = sum / static_cast<double>(lat.size());
+    s.maxUs = lat.back();
+    return s;
+}
+
+} // namespace
+
+void
+ServerStats::recordInference(const InferenceResult &r)
+{
+    infLatUs.push_back(r.doneUs - r.arrivalUs);
+    firstArrivalUs = std::min(firstArrivalUs, r.arrivalUs);
+    lastDoneUs = std::max(lastDoneUs, r.doneUs);
+}
+
+void
+ServerStats::recordInferenceBatch(const BatchExecInfo &info)
+{
+    numInfBatches++;
+    batchHist[info.targets]++;
+    if (info.wholeGraph) {
+        numWholeGraph++;
+    } else {
+        subNodesTotal += info.subNodes;
+        subBatches++;
+    }
+    const int kind = static_cast<int>(RequestKind::Inference);
+    if (lastKind >= 0 && lastKind != kind)
+        numInterleaves++;
+    lastKind = kind;
+}
+
+void
+ServerStats::recordUpdate(const UpdateResult &r)
+{
+    updLatUs.push_back(r.doneUs - r.arrivalUs);
+    numUpdBatches++;
+    numUpdCoalesced += r.coalesced;
+    numEdgesApplied += r.edgesApplied;
+    if (r.edgesApplied > 0)
+        numEpochs++;
+    firstArrivalUs = std::min(firstArrivalUs, r.arrivalUs);
+    lastDoneUs = std::max(lastDoneUs, r.doneUs);
+    const int kind = static_cast<int>(RequestKind::Update);
+    if (lastKind >= 0 && lastKind != kind)
+        numInterleaves++;
+    lastKind = kind;
+}
+
+LatencySummary
+ServerStats::inferenceLatency() const
+{
+    return summarize(infLatUs);
+}
+
+LatencySummary
+ServerStats::updateLatency() const
+{
+    return summarize(updLatUs);
+}
+
+double
+ServerStats::throughputRps() const
+{
+    if (infLatUs.empty() || lastDoneUs <= firstArrivalUs)
+        return 0.0;
+    return static_cast<double>(infLatUs.size()) /
+           (static_cast<double>(lastDoneUs - firstArrivalUs) * 1e-6);
+}
+
+double
+ServerStats::meanBatchSize() const
+{
+    if (numInfBatches == 0)
+        return 0.0;
+    return static_cast<double>(infLatUs.size()) /
+           static_cast<double>(numInfBatches);
+}
+
+double
+ServerStats::meanSubgraphNodes() const
+{
+    if (subBatches == 0)
+        return 0.0;
+    return static_cast<double>(subNodesTotal) /
+           static_cast<double>(subBatches);
+}
+
+std::string
+ServerStats::summary() const
+{
+    const LatencySummary inf = inferenceLatency();
+    const LatencySummary upd = updateLatency();
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "inference: %llu requests in %llu batches (mean %.1f/batch, "
+        "%llu whole-graph)\n"
+        "latency us: p50 %.0f  p95 %.0f  p99 %.0f  mean %.1f  max %llu\n"
+        "throughput: %.0f req/s (server-clock makespan)\n"
+        "updates: %llu applications (%llu requests coalesced, "
+        "%llu edges applied, %llu epochs)\n"
+        "update latency us: p50 %.0f  p99 %.0f\n"
+        "interleaves: %llu  mean receptive field: %.1f nodes\n",
+        static_cast<unsigned long long>(inf.count),
+        static_cast<unsigned long long>(numInfBatches),
+        meanBatchSize(),
+        static_cast<unsigned long long>(numWholeGraph), inf.p50,
+        inf.p95, inf.p99, inf.meanUs,
+        static_cast<unsigned long long>(inf.maxUs), throughputRps(),
+        static_cast<unsigned long long>(numUpdBatches),
+        static_cast<unsigned long long>(numUpdCoalesced),
+        static_cast<unsigned long long>(numEdgesApplied),
+        static_cast<unsigned long long>(numEpochs), upd.p50, upd.p99,
+        static_cast<unsigned long long>(numInterleaves),
+        meanSubgraphNodes());
+    return buf;
+}
+
+} // namespace igcn::serve

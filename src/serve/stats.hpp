@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Serving telemetry: per-request latency percentiles, batch-size
+ * histogram, throughput, and inference/update interleave counters.
+ *
+ * Recording happens on the scheduler thread only (batches complete in
+ * dispatch order); accessors are meant for after the run or between
+ * batches. Latencies are kept exactly (one uint64 per request) so
+ * percentiles are nearest-rank over the true distribution, not an
+ * approximation — a 10k-request replay is 80 KB, far below sketching
+ * territory.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+
+namespace igcn::serve {
+
+/** Nearest-rank latency summary in microseconds. */
+struct LatencySummary
+{
+    uint64_t count = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    double meanUs = 0;
+    uint64_t maxUs = 0;
+};
+
+/** Accumulates one serving run's telemetry. */
+class ServerStats
+{
+  public:
+    void recordInference(const InferenceResult &r);
+    void recordInferenceBatch(const BatchExecInfo &info);
+    void recordUpdate(const UpdateResult &r);
+
+    LatencySummary inferenceLatency() const;
+    LatencySummary updateLatency() const;
+
+    /** batch size -> number of inference batches of that size. */
+    const std::map<uint32_t, uint64_t> &batchSizeHistogram() const
+    {
+        return batchHist;
+    }
+
+    /** Completed inference requests / virtual makespan seconds. */
+    double throughputRps() const;
+
+    uint64_t inferenceRequests() const { return infLatUs.size(); }
+    uint64_t inferenceBatches() const { return numInfBatches; }
+    uint64_t updateApplications() const { return numUpdBatches; }
+    uint64_t updatesCoalesced() const { return numUpdCoalesced; }
+    uint64_t epochsPublished() const { return numEpochs; }
+    uint64_t edgesApplied() const { return numEdgesApplied; }
+    uint64_t wholeGraphBatches() const { return numWholeGraph; }
+    /** Inference <-> update transitions in dispatch order. */
+    uint64_t interleaves() const { return numInterleaves; }
+    double meanBatchSize() const;
+    double meanSubgraphNodes() const;
+
+    /** Multi-line human-readable summary (CLI / bench output). */
+    std::string summary() const;
+
+  private:
+    std::vector<uint64_t> infLatUs;
+    std::vector<uint64_t> updLatUs;
+    std::map<uint32_t, uint64_t> batchHist;
+    uint64_t numInfBatches = 0;
+    uint64_t numUpdBatches = 0;
+    uint64_t numUpdCoalesced = 0;
+    uint64_t numEpochs = 0;
+    uint64_t numEdgesApplied = 0;
+    uint64_t numWholeGraph = 0;
+    uint64_t numInterleaves = 0;
+    uint64_t subNodesTotal = 0;
+    uint64_t subBatches = 0;
+    uint64_t firstArrivalUs = ~uint64_t{0};
+    uint64_t lastDoneUs = 0;
+    int lastKind = -1; // -1 none, else RequestKind cast
+};
+
+} // namespace igcn::serve

@@ -1,0 +1,76 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/rng.hpp"
+
+namespace igcn::serve {
+
+std::vector<Request>
+makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
+{
+    const NodeId n = g.numNodes();
+    if (n == 0)
+        throw std::invalid_argument("makeSyntheticTrace: empty graph");
+    Rng rng(cfg.seed);
+
+    // Hot set: the top-degree nodes, ties broken by id so the set is
+    // deterministic.
+    std::vector<NodeId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
+    std::sort(by_degree.begin(), by_degree.end(),
+              [&g](NodeId a, NodeId b) {
+                  if (g.degree(a) != g.degree(b))
+                      return g.degree(a) > g.degree(b);
+                  return a < b;
+              });
+    const size_t hot_count = std::max<size_t>(
+        1, static_cast<size_t>(cfg.hotSetFraction * n));
+    by_degree.resize(hot_count);
+
+    std::vector<Request> trace;
+    trace.reserve(cfg.numInference + cfg.numUpdates);
+    uint64_t remaining_inf = cfg.numInference;
+    uint64_t remaining_upd = cfg.numUpdates;
+    uint64_t now_us = 0;
+    uint64_t id = 0;
+    while (remaining_inf + remaining_upd > 0) {
+        now_us += static_cast<uint64_t>(
+            -cfg.meanGapUs * std::log(1.0 - rng.nextDouble()));
+        Request r;
+        r.id = id++;
+        r.arrivalUs = now_us;
+        const bool is_update =
+            rng.nextBounded(remaining_inf + remaining_upd) <
+            remaining_upd;
+        if (is_update) {
+            r.kind = RequestKind::Update;
+            const int k =
+                1 + static_cast<int>(rng.nextBounded(
+                        static_cast<uint64_t>(
+                            std::max(1, cfg.maxEdgesPerUpdate))));
+            for (int e = 0; e < k; ++e) {
+                const auto u =
+                    static_cast<NodeId>(rng.nextBounded(n));
+                const auto v =
+                    static_cast<NodeId>(rng.nextBounded(n));
+                if (u != v)
+                    r.addedEdges.emplace_back(u, v);
+            }
+            remaining_upd--;
+        } else {
+            r.kind = RequestKind::Inference;
+            r.node = rng.nextBool(cfg.hotFraction)
+                ? by_degree[rng.nextBounded(by_degree.size())]
+                : static_cast<NodeId>(rng.nextBounded(n));
+            remaining_inf--;
+        }
+        trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
+} // namespace igcn::serve

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic synthetic request traces for replay, tests and
+ * benchmarks: a seeded mix of inference requests (with a skewed
+ * target popularity, queries concentrating on high-degree nodes the
+ * way user traffic concentrates on popular entities) and small
+ * edge-addition updates, with bursty exponential inter-arrival gaps.
+ */
+
+#pragma once
+
+#include "serve/request.hpp"
+
+namespace igcn::serve {
+
+/** Parameters of the synthetic trace generator. */
+struct TraceConfig
+{
+    /** Number of node-classification requests. */
+    uint64_t numInference = 10000;
+    /** Number of edge-addition requests. */
+    uint64_t numUpdates = 1000;
+    /** Mean inter-arrival gap in virtual microseconds. */
+    double meanGapUs = 50.0;
+    /** Fraction of queries aimed at the top-degree node set. */
+    double hotFraction = 0.2;
+    /** Fraction of nodes forming that hot set (by degree). */
+    double hotSetFraction = 0.05;
+    /** Edges per update request, uniform in [1, maxEdgesPerUpdate]. */
+    int maxEdgesPerUpdate = 4;
+    uint64_t seed = 1;
+};
+
+/**
+ * Generate an arrival-sorted trace over the nodes of g. Fully
+ * deterministic in (g, cfg): request ids are 0..total-1 in arrival
+ * order, kinds are interleaved uniformly at random across the whole
+ * trace, and all node ids are in range.
+ */
+std::vector<Request> makeSyntheticTrace(const CsrGraph &g,
+                                        const TraceConfig &cfg);
+
+} // namespace igcn::serve

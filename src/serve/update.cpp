@@ -1,0 +1,74 @@
+#include "serve/update.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace igcn::serve {
+
+UpdateApplier::UpdateApplier(std::shared_ptr<GraphStateHub> hub,
+                             LocatorConfig locator)
+    : hub(std::move(hub)), locator(locator)
+{
+    if (!this->hub)
+        throw std::invalid_argument("UpdateApplier: null hub");
+}
+
+UpdateResult
+UpdateApplier::apply(std::span<const Request> batch)
+{
+    if (batch.empty())
+        throw std::invalid_argument("apply: empty update batch");
+    std::lock_guard<std::mutex> writer(writerMutex);
+    const std::shared_ptr<const GraphState> cur = hub->acquire();
+    const NodeId n = cur->graph.numNodes();
+
+    UpdateResult res;
+    res.id = batch.front().id;
+    res.arrivalUs = batch.front().arrivalUs;
+    res.coalesced = static_cast<uint32_t>(batch.size());
+
+    // Normalize the batch: drop invalid endpoints, self loops, and
+    // edges already present; deduplicate the rest.
+    std::vector<Edge> fresh;
+    size_t proposed = 0;
+    for (const Request &r : batch) {
+        if (r.kind != RequestKind::Update)
+            throw std::invalid_argument(
+                "apply: non-update request in batch");
+        for (const auto &[u, v] : r.addedEdges) {
+            proposed++;
+            if (u >= n || v >= n || u == v)
+                continue;
+            if (cur->graph.hasEdge(u, v))
+                continue;
+            fresh.emplace_back(std::min(u, v), std::max(u, v));
+        }
+    }
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    res.edgesApplied = fresh.size();
+    res.edgesSkipped = proposed - fresh.size();
+
+    if (fresh.empty()) {
+        res.epoch = cur->epoch; // no-op: nothing to publish
+        return res;
+    }
+
+    auto next = std::make_shared<GraphState>();
+    next->epoch = cur->epoch + 1;
+    next->graph = cur->graph.withAddedEdges(fresh);
+    next->islands = updateIslandization(next->graph, cur->islands,
+                                        fresh, locator, &res.stats);
+    next->scale = degreeScaling(next->graph);
+    // Copying drops the CSC cache by construction; the refresh
+    // mutates the arrays in place and re-asserts the invalidation,
+    // so a cached adjunct can never leak across epochs.
+    next->normAdj = cur->normAdj;
+    refreshNormalizedAdjacency(next->normAdj, next->graph,
+                               next->scale);
+    res.epoch = next->epoch;
+    hub->publish(std::move(next));
+    return res;
+}
+
+} // namespace igcn::serve

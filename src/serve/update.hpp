@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The update applier: edge-addition requests become new graph epochs.
+ *
+ * Each apply() takes one (possibly coalesced) update micro-batch,
+ * builds the next epoch privately — merge-based edge insertion
+ * (CsrGraph::withAddedEdges), *incremental* islandization repair
+ * (updateIslandization, the paper's evolving-graph machinery), fresh
+ * degree scaling, and an in-place A_hat refresh that drops the
+ * matrix's cached CSC adjunct (refreshNormalizedAdjacency) — and
+ * publishes it through the GraphStateHub. In-flight inference
+ * batches keep their pre-update snapshots; batches formed after the
+ * publish see the new epoch. Updates that add nothing new (duplicate
+ * edges, self loops, out-of-range endpoints) publish no epoch.
+ */
+
+#pragma once
+
+#include "serve/engine.hpp"
+
+namespace igcn::serve {
+
+/** Applies update micro-batches; single logical writer. */
+class UpdateApplier
+{
+  public:
+    UpdateApplier(std::shared_ptr<GraphStateHub> hub,
+                  LocatorConfig locator = {});
+
+    /**
+     * Apply a coalesced update micro-batch (all requests must be
+     * Updates). Thread-safe: concurrent callers serialize so epochs
+     * advance one at a time.
+     */
+    UpdateResult apply(std::span<const Request> batch);
+
+  private:
+    std::shared_ptr<GraphStateHub> hub;
+    LocatorConfig locator;
+    std::mutex writerMutex;
+};
+
+} // namespace igcn::serve

@@ -12,10 +12,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "tools/args.hpp"
+#include "tools/cli_io.hpp"
 
 namespace {
 
@@ -123,6 +127,58 @@ TEST(CliArgs, LastOccurrenceWins)
 {
     Args a = parse({"--seed", "1", "--seed", "2"});
     EXPECT_EQ(a.getInt("seed", 0), 2);
+}
+
+// --- the --in graph-loading path every file-taking subcommand uses --
+// main() catches these exceptions, prints them, and exits nonzero, so
+// each throw below is a nonzero CLI exit with the tested message.
+
+TEST(CliLoadGraphArg, MissingInFlagIsDiagnosed)
+{
+    Args a = parse({});
+    try {
+        igcn::cli::loadGraphArg(a);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("--in"),
+                  std::string::npos);
+    }
+}
+
+TEST(CliLoadGraphArg, ValuelessInFlagIsDiagnosed)
+{
+    Args a = parse({"--in"});
+    EXPECT_THROW(igcn::cli::loadGraphArg(a), std::runtime_error);
+}
+
+TEST(CliLoadGraphArg, NonexistentFileNamesPathAndReason)
+{
+    // `igcn info --in missing.txt` and `igcn simulate --in ...` used
+    // to fail with a bare "cannot open" and no reason; the message
+    // must now carry the path and the OS error text.
+    Args a = parse({"--in", "/nonexistent/igcn-cli.txt"});
+    try {
+        igcn::cli::loadGraphArg(a);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("/nonexistent/igcn-cli.txt"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("cannot open"), std::string::npos);
+        // strerror(ENOENT) text, the "why".
+        EXPECT_NE(msg.find("No such file"), std::string::npos);
+    }
+}
+
+TEST(CliLoadGraphArg, LoadsAValidFile)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "igcn_cli_io_ok.txt";
+    igcn::CsrGraph g = igcn::pathGraph(5);
+    igcn::saveEdgeList(g, path);
+    Args a = parse({"--in", path});
+    EXPECT_EQ(igcn::cli::loadGraphArg(a), g);
+    std::remove(path.c_str());
 }
 
 } // namespace

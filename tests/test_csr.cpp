@@ -11,6 +11,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
+#include "graph/rng.hpp"
 
 namespace igcn {
 namespace {
@@ -194,6 +195,129 @@ TEST(CsrGraph, InEdgeIndexOnSymmetricGraphEqualsOutAdjacency)
         ASSERT_EQ(in.size(), out.size());
         EXPECT_TRUE(std::equal(in.begin(), in.end(), out.begin()));
     }
+}
+
+TEST(CsrGraph, FromCsrArraysValidatesInvariants)
+{
+    // Valid adoption round-trips.
+    CsrGraph g = CsrGraph::fromCsrArrays({0, 2, 3, 4},
+                                         {1, 2, 0, 0});
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.neighbors(0).size(), 2u);
+
+    // Row pointer must start at 0 and end at col_idx.size().
+    EXPECT_THROW(CsrGraph::fromCsrArrays({1, 2}, {0}),
+                 std::invalid_argument);
+    EXPECT_THROW(CsrGraph::fromCsrArrays({0, 2}, {0}),
+                 std::invalid_argument);
+    EXPECT_THROW(CsrGraph::fromCsrArrays({}, {}),
+                 std::invalid_argument);
+    // Monotonicity.
+    EXPECT_THROW(CsrGraph::fromCsrArrays({0, 2, 1, 3}, {0, 1, 0}),
+                 std::invalid_argument);
+    // Column range.
+    EXPECT_THROW(CsrGraph::fromCsrArrays({0, 1}, {5}),
+                 std::invalid_argument);
+    // Strictly ascending (sorted, no duplicates) per row.
+    EXPECT_THROW(CsrGraph::fromCsrArrays({0, 2}, {1, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(CsrGraph::fromCsrArrays({0, 2}, {1, 1}),
+                 std::invalid_argument);
+}
+
+TEST(CsrGraph, WithAddedEdgesMatchesEdgeListRebuild)
+{
+    // Differential: the O(E + k log k) merge must equal a full
+    // rebuild from the combined edge list, across graph families and
+    // adversarial additions (duplicates, already-present edges, self
+    // loops, both orientations of the same edge).
+    Rng rng(99);
+    std::vector<CsrGraph> graphs;
+    graphs.push_back(erdosRenyi(300, 6.0, 1));
+    graphs.push_back(pathGraph(50));
+    graphs.push_back(starGraph(40));
+    graphs.push_back(CsrGraph::fromEdges(10, {}));
+    for (const CsrGraph &g : graphs) {
+        std::vector<Edge> added;
+        for (int i = 0; i < 40; ++i) {
+            const auto u =
+                static_cast<NodeId>(rng.nextBounded(g.numNodes()));
+            const auto v =
+                static_cast<NodeId>(rng.nextBounded(g.numNodes()));
+            added.emplace_back(u, v);
+            if (i % 5 == 0)
+                added.emplace_back(v, u); // reverse duplicate
+        }
+        CsrGraph merged = g.withAddedEdges(added);
+        std::vector<Edge> all = g.toEdges();
+        for (const Edge &e : added)
+            all.push_back(e);
+        CsrGraph rebuilt = CsrGraph::fromEdges(
+            g.numNodes(), all, /*symmetrize=*/true);
+        EXPECT_EQ(merged, rebuilt);
+    }
+    EXPECT_THROW(pathGraph(4).withAddedEdges(
+                     std::vector<Edge>{{0, 9}}),
+                 std::out_of_range);
+}
+
+TEST(CsrGraph, ExtractLHopSubgraphLevels)
+{
+    // Path 0-1-2-3-4-5: 2 hops from node 0 reach {0, 1, 2}.
+    CsrGraph p = pathGraph(6);
+    std::vector<NodeId> targets{0};
+    LHopSubgraph ext = extractLHopSubgraph(p, targets, 2);
+    EXPECT_EQ(ext.nodes, (std::vector<NodeId>{0, 1, 2}));
+    EXPECT_EQ(ext.targetLocal, (std::vector<NodeId>{0}));
+    // Induced edges: 0-1, 1-2 (both arcs).
+    EXPECT_EQ(ext.sub.numEdges(), 4u);
+
+    // 0 hops: the targets alone, with only target-target edges.
+    std::vector<NodeId> two{1, 2};
+    LHopSubgraph zero = extractLHopSubgraph(p, two, 0);
+    EXPECT_EQ(zero.nodes, (std::vector<NodeId>{1, 2}));
+    EXPECT_EQ(zero.sub.numEdges(), 2u);
+
+    // Duplicate targets each get a targetLocal entry.
+    std::vector<NodeId> dup{3, 3, 1};
+    LHopSubgraph d = extractLHopSubgraph(p, dup, 1);
+    EXPECT_EQ(d.targetLocal.size(), 3u);
+    EXPECT_EQ(d.targetLocal[0], d.targetLocal[1]);
+
+    EXPECT_THROW(extractLHopSubgraph(p, std::vector<NodeId>{9}, 1),
+                 std::out_of_range);
+}
+
+TEST(CsrGraph, ExtractLHopSubgraphPreservesNeighborOrder)
+{
+    // On a random graph, every subgraph row must be the global row
+    // filtered to the subgraph, in the same (ascending) order — the
+    // property that makes batched inference accumulation order match
+    // the whole-graph pass.
+    CsrGraph g = erdosRenyi(200, 8.0, 3);
+    std::vector<NodeId> targets{5, 17, 100};
+    LHopSubgraph ext = extractLHopSubgraph(g, targets, 2);
+    ASSERT_TRUE(std::is_sorted(ext.nodes.begin(), ext.nodes.end()));
+    for (size_t l = 0; l < ext.nodes.size(); ++l) {
+        std::vector<NodeId> expected;
+        for (NodeId v : g.neighbors(ext.nodes[l])) {
+            auto it = std::lower_bound(ext.nodes.begin(),
+                                       ext.nodes.end(), v);
+            if (it != ext.nodes.end() && *it == v)
+                expected.push_back(static_cast<NodeId>(
+                    it - ext.nodes.begin()));
+        }
+        auto got = ext.sub.neighbors(static_cast<NodeId>(l));
+        ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()),
+                  expected)
+            << "row " << l;
+    }
+    // Every target's full neighborhood is present (hops >= 1).
+    for (NodeId t : targets)
+        for (NodeId v : g.neighbors(t))
+            EXPECT_TRUE(std::binary_search(ext.nodes.begin(),
+                                           ext.nodes.end(), v));
 }
 
 TEST(Permutation, Validity)

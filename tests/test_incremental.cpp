@@ -173,6 +173,63 @@ TEST(Incremental, RandomEdgeStream)
     }
 }
 
+TEST(Incremental, BatchedMixedStreamEquivalentToOneBigBatch)
+{
+    // The serving subsystem's exact usage pattern: the update applier
+    // feeds updateIslandization many small coalesced `std::span`
+    // batches. Applying a mixed stream (intra-island, cross-island,
+    // hub-hub, hub-island edges) as 12 batches of 5 must land on the
+    // same final graph as one 60-edge batch, and both islandizations
+    // must satisfy the full fresh-run postconditions with comparable
+    // pruning quality.
+    auto hi = hubAndIslandGraph({.numNodes = 1000, .seed = 31});
+    LocatorConfig cfg;
+    auto isl0 = islandize(hi.graph, cfg);
+
+    Rng rng(8);
+    std::vector<Edge> added;
+    while (added.size() < 60) {
+        const auto u = static_cast<NodeId>(
+            rng.nextBounded(hi.graph.numNodes()));
+        const auto v = static_cast<NodeId>(
+            rng.nextBounded(hi.graph.numNodes()));
+        if (u != v)
+            added.emplace_back(u, v);
+    }
+
+    // One big batch.
+    CsrGraph g_big = hi.graph.withAddedEdges(added);
+    auto isl_big =
+        updateIslandization(g_big, isl0, added, cfg);
+
+    // Many small batches, graph evolving between them (subspans of
+    // the same stream, as the scheduler's coalescing produces).
+    CsrGraph g_small = hi.graph;
+    auto isl_small = isl0;
+    for (size_t i = 0; i < added.size(); i += 5) {
+        std::span<const Edge> batch(added.data() + i, 5);
+        g_small = g_small.withAddedEdges(batch);
+        isl_small =
+            updateIslandization(g_small, isl_small, batch, cfg);
+        checkPostconditions(g_small, isl_small, cfg);
+    }
+
+    // Identical final graphs (merge-insertion is batch-size
+    // invariant), and both valid islandizations of it.
+    EXPECT_EQ(g_big, g_small);
+    checkPostconditions(g_big, isl_big, cfg);
+    checkPostconditions(g_small, isl_small, cfg);
+
+    // Equivalent quality: the partitions may legitimately differ
+    // (island discovery order differs), but neither path may degrade
+    // the structure the consumer exploits.
+    const double rate_big =
+        countPruning(g_big, isl_big, {}).aggPruningRate();
+    const double rate_small =
+        countPruning(g_small, isl_small, {}).aggPruningRate();
+    EXPECT_NEAR(rate_big, rate_small, 0.08);
+}
+
 TEST(Incremental, MatchesFreshPruningQuality)
 {
     // Incremental repair shouldn't leave meaningfully less pruning

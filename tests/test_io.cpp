@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Edge-list I/O hardening tests.
+ *
+ * Regression focus: the stream-extraction loader used to stop
+ * silently at the first malformed line (dropping every edge after
+ * it), accept negative ids by unsigned wrap-around, and report
+ * out-of-range endpoints with no file/line context. Every
+ * malformation must now throw with the path and 1-based line number.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace igcn {
+namespace {
+
+/** Write content to a fresh temp file; returns its path. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &content)
+        : filePath(std::string(::testing::TempDir()) + "igcn_io_" +
+                   std::to_string(counter++) + ".txt")
+    {
+        std::ofstream out(filePath);
+        out << content;
+    }
+    ~TempFile() { std::remove(filePath.c_str()); }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    static inline int counter = 0;
+    std::string filePath;
+};
+
+/** Expect loadEdgeList to throw with all the given message parts. */
+void
+expectLoadError(const std::string &path,
+                const std::vector<std::string> &parts)
+{
+    try {
+        loadEdgeList(path);
+        FAIL() << "expected std::runtime_error for " << path;
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        for (const std::string &part : parts)
+            EXPECT_NE(msg.find(part), std::string::npos)
+                << "message '" << msg << "' lacks '" << part << "'";
+    }
+}
+
+TEST(EdgeListIo, RoundTrip)
+{
+    CsrGraph g = erdosRenyi(120, 5.0, 7);
+    TempFile f("");
+    saveEdgeList(g, f.path());
+    EXPECT_EQ(loadEdgeList(f.path()), g);
+}
+
+TEST(EdgeListIo, MissingFileNamesPathAndReason)
+{
+    expectLoadError("/nonexistent/igcn-no-such-file.txt",
+                    {"cannot open", "/nonexistent/igcn-no-such-file.txt"});
+}
+
+TEST(EdgeListIo, MissingHeader)
+{
+    TempFile empty("");
+    expectLoadError(empty.path(), {"missing", "# nodes"});
+
+    TempFile blank("\n   \n\n");
+    expectLoadError(blank.path(), {"missing", "# nodes"});
+}
+
+TEST(EdgeListIo, MalformedHeaderWithLineNumber)
+{
+    TempFile f("garbage first line\n0 1\n");
+    expectLoadError(f.path(), {":1:", "header", "garbage first line"});
+
+    TempFile trailing("# nodes 5 extra\n");
+    expectLoadError(trailing.path(), {":1:", "header"});
+
+    TempFile huge("# nodes 5000000000\n");
+    expectLoadError(huge.path(), {":1:", "32-bit"});
+}
+
+TEST(EdgeListIo, MalformedEdgeLineNoLongerTruncatesSilently)
+{
+    // The old loader returned a 1-edge graph here, silently dropping
+    // "junk" AND the valid "1 2" after it.
+    TempFile f("# nodes 3\n0 1\njunk line\n1 2\n");
+    expectLoadError(f.path(), {":3:", "malformed", "junk line"});
+}
+
+TEST(EdgeListIo, TrailingTokensOnEdgeLine)
+{
+    TempFile f("# nodes 3\n0 1 2\n");
+    expectLoadError(f.path(), {":2:", "malformed"});
+}
+
+TEST(EdgeListIo, NegativeIdsRejectedNotWrapped)
+{
+    TempFile f("# nodes 3\n-1 2\n");
+    expectLoadError(f.path(), {":2:", "malformed"});
+}
+
+TEST(EdgeListIo, OutOfRangeEndpointWithLineNumber)
+{
+    TempFile f("# nodes 3\n0 1\n0 9\n");
+    expectLoadError(f.path(), {":3:", "9", "out of range"});
+}
+
+TEST(EdgeListIo, BlankLinesAndCommentsSkipped)
+{
+    TempFile f("\n# nodes 3\n\n0 1\n# a comment\n  \n1 2\n");
+    CsrGraph g = loadEdgeList(f.path());
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u); // directed arcs as stored
+}
+
+TEST(EdgeListIo, DirectedFixtureRoundTripsExactly)
+{
+    // The loader must not re-symmetrize: a file with one arc stays
+    // one arc.
+    TempFile f("# nodes 2\n0 1\n");
+    CsrGraph g = loadEdgeList(f.path());
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+}
+
+} // namespace
+} // namespace igcn

@@ -1,0 +1,580 @@
+/**
+ * @file
+ * Serving subsystem tests — the acceptance criteria of the online
+ * inference server:
+ *
+ *  (a) batched L-hop inference is bit-identical to one-at-a-time
+ *      whole-graph reference inference for the requested nodes;
+ *  (b) virtual-clock replay is deterministic: results, epochs and
+ *      batch composition are identical at IGCN_THREADS 1/2/8 and
+ *      per-request results identical across batch-cap settings;
+ *  (c) interleaved updates never produce a torn read: concurrent
+ *      readers + an update writer always see a complete epoch whose
+ *      results match that epoch's whole-graph reference
+ *      (ASan/UBSan-clean in the sanitizer CI job).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "gcn/reference.hpp"
+#include "graph/generators.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+
+namespace igcn {
+namespace {
+
+using namespace igcn::serve;
+
+struct Workload
+{
+    CsrGraph graph;
+    DenseMatrix features;
+    std::vector<DenseMatrix> weights;
+    Features asFeatures() const
+    {
+        Features f;
+        f.dense = features;
+        return f;
+    }
+};
+
+Workload
+makeWorkload(NodeId nodes, int num_features, int hidden, int classes,
+             int layers, uint64_t seed)
+{
+    Workload w;
+    w.graph = hubAndIslandGraph({.numNodes = nodes, .seed = seed}).graph;
+    Rng rng(seed * 7 + 1);
+    w.features = DenseMatrix(nodes, num_features);
+    w.features.fillRandom(rng, 1.0f);
+    ModelConfig mc;
+    mc.layers.push_back({num_features, hidden});
+    for (int l = 2; l < layers; ++l)
+        mc.layers.push_back({hidden, hidden});
+    mc.layers.push_back({hidden, classes});
+    w.weights = makeWeights(mc, rng);
+    return w;
+}
+
+bool
+bitEqualRow(const std::vector<float> &logits, const DenseMatrix &ref,
+            NodeId row)
+{
+    return logits.size() == ref.cols() &&
+           std::memcmp(logits.data(), ref.row(row),
+                       logits.size() * sizeof(float)) == 0;
+}
+
+std::vector<Request>
+inferenceBatch(const std::vector<NodeId> &nodes)
+{
+    std::vector<Request> batch;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        Request r;
+        r.kind = RequestKind::Inference;
+        r.id = i;
+        r.node = nodes[i];
+        batch.push_back(std::move(r));
+    }
+    return batch;
+}
+
+// ------------------------------------------------------ criterion (a)
+
+TEST(ServingEngine, BatchedLHopBitIdenticalToWholeGraphReference)
+{
+    for (int layers : {2, 3}) {
+        Workload w = makeWorkload(1200, 24, 16, 7, layers, 5);
+        DenseMatrix ref =
+            referenceForward(w.graph, w.asFeatures(), w.weights);
+
+        auto hub = std::make_shared<GraphStateHub>(
+            makeGraphState(w.graph, LocatorConfig{}));
+        // wholeGraphFraction > 1: always take the subgraph path.
+        InferenceEngine engine(hub, w.features, w.weights, 1.1);
+
+        Rng rng(33);
+        for (size_t batch_size : {size_t{1}, size_t{7}, size_t{33}}) {
+            std::vector<NodeId> targets;
+            for (size_t i = 0; i < batch_size; ++i)
+                targets.push_back(static_cast<NodeId>(
+                    rng.nextBounded(w.graph.numNodes())));
+            if (batch_size >= 7)
+                targets[1] = targets[0]; // duplicate target
+
+            BatchExecInfo info;
+            auto results =
+                engine.runBatch(inferenceBatch(targets), &info);
+            ASSERT_EQ(results.size(), targets.size());
+            EXPECT_FALSE(info.wholeGraph);
+            EXPECT_GT(info.subNodes, 0u);
+            for (const InferenceResult &r : results)
+                EXPECT_TRUE(bitEqualRow(r.logits, ref, r.node))
+                    << "layers " << layers << " node " << r.node;
+        }
+
+        // The whole-graph fallback must produce the same bits.
+        InferenceEngine whole(hub, w.features, w.weights, 0.0);
+        BatchExecInfo info;
+        auto results = whole.runBatch(
+            inferenceBatch({3, 99, 701}), &info);
+        EXPECT_TRUE(info.wholeGraph);
+        for (const InferenceResult &r : results)
+            EXPECT_TRUE(bitEqualRow(r.logits, ref, r.node));
+    }
+}
+
+// ------------------------------------------------------ criterion (b)
+
+/** Signature of one replay: per-request (epoch, logits) + batch map. */
+struct ReplaySignature
+{
+    std::map<uint64_t, std::pair<uint64_t, std::vector<float>>> byId;
+    std::map<uint64_t, uint32_t> batchSizeById;
+    std::vector<uint64_t> updateEpochs;
+
+    static ReplaySignature
+    of(const ReplayReport &rep)
+    {
+        ReplaySignature s;
+        for (const InferenceResult &r : rep.inference) {
+            s.byId[r.id] = {r.epoch, r.logits};
+            s.batchSizeById[r.id] = r.batchSize;
+        }
+        for (const UpdateResult &u : rep.updates)
+            s.updateEpochs.push_back(u.epoch);
+        return s;
+    }
+};
+
+TEST(ServingReplay, DeterministicAcrossThreadCounts)
+{
+    Workload w = makeWorkload(800, 16, 12, 6, 2, 9);
+    TraceConfig tc;
+    tc.numInference = 600;
+    tc.numUpdates = 60;
+    tc.seed = 3;
+    const std::vector<Request> trace =
+        makeSyntheticTrace(w.graph, tc);
+
+    std::vector<ReplaySignature> sigs;
+    std::vector<std::string> summaries;
+    for (int threads : {1, 2, 8}) {
+        setGlobalThreads(threads);
+        Server server(w.graph, w.features, w.weights, ServerConfig{});
+        ReplayReport rep = server.runTrace(trace);
+        EXPECT_EQ(rep.inference.size(), tc.numInference);
+        sigs.push_back(ReplaySignature::of(rep));
+        summaries.push_back(server.stats().summary());
+    }
+    setGlobalThreads(0);
+    for (size_t i = 1; i < sigs.size(); ++i) {
+        EXPECT_EQ(sigs[0].byId, sigs[i].byId)
+            << "thread count run " << i;
+        EXPECT_EQ(sigs[0].batchSizeById, sigs[i].batchSizeById);
+        EXPECT_EQ(sigs[0].updateEpochs, sigs[i].updateEpochs);
+        // Virtual-clock stats (latencies, histogram) are part of the
+        // determinism contract too.
+        EXPECT_EQ(summaries[0], summaries[i]);
+    }
+}
+
+TEST(ServingReplay, PerRequestResultsInvariantAcrossBatchCaps)
+{
+    Workload w = makeWorkload(700, 16, 12, 6, 2, 13);
+    TraceConfig tc;
+    tc.numInference = 400;
+    tc.numUpdates = 40;
+    tc.seed = 4;
+    const std::vector<Request> trace =
+        makeSyntheticTrace(w.graph, tc);
+
+    std::vector<ReplaySignature> sigs;
+    for (uint32_t cap : {1u, 4u, 64u}) {
+        ServerConfig sc;
+        sc.scheduler.maxBatch = cap;
+        Server server(w.graph, w.features, w.weights, sc);
+        sigs.push_back(ReplaySignature::of(server.runTrace(trace)));
+    }
+    // Batching may not change any request's result or the epoch it
+    // was served against (FCFS: updates are sequence points at every
+    // cap). Batch sizes of course differ.
+    for (size_t i = 1; i < sigs.size(); ++i) {
+        EXPECT_EQ(sigs[0].byId, sigs[i].byId) << "cap run " << i;
+        EXPECT_EQ(sigs[0].updateEpochs, sigs[i].updateEpochs);
+    }
+}
+
+TEST(ServingReplay, UpdatesTakeEffectAndMatchFinalReference)
+{
+    Workload w = makeWorkload(500, 16, 12, 6, 2, 21);
+    TraceConfig tc;
+    tc.numInference = 200;
+    tc.numUpdates = 30;
+    tc.seed = 6;
+    Server server(w.graph, w.features, w.weights, ServerConfig{});
+    ReplayReport rep = server.runTrace(makeSyntheticTrace(w.graph, tc));
+
+    EXPECT_GT(server.currentEpoch(), 0u);
+    uint64_t applied = 0;
+    for (const UpdateResult &u : rep.updates)
+        applied += u.edgesApplied;
+    EXPECT_GT(applied, 0u);
+
+    // Post-replay queries must match the reference forward on the
+    // final evolved graph, bit-exactly.
+    auto hub = server.stateHub();
+    auto state = hub->acquire();
+    EXPECT_GT(state->graph.numEdges(), w.graph.numEdges());
+    DenseMatrix ref = referenceForward(
+        state->graph,
+        [&] {
+            Features f;
+            f.dense = w.features;
+            return f;
+        }(),
+        w.weights);
+    InferenceEngine engine(hub, w.features, w.weights, 1.1);
+    auto results = engine.runBatch(inferenceBatch({1, 44, 321}));
+    for (const InferenceResult &r : results) {
+        EXPECT_EQ(r.epoch, state->epoch);
+        EXPECT_TRUE(bitEqualRow(r.logits, ref, r.node));
+    }
+}
+
+// ------------------------------------------------------ criterion (c)
+
+TEST(ServingConcurrency, InterleavedUpdatesNeverTearReads)
+{
+    Workload w = makeWorkload(600, 12, 10, 5, 2, 17);
+    auto hub = std::make_shared<GraphStateHub>(
+        makeGraphState(w.graph, LocatorConfig{}));
+    InferenceEngine engine(hub, w.features, w.weights);
+    UpdateApplier applier(hub);
+
+    // The writer retains every epoch's state so readers' results can
+    // be checked against the exact epoch they claim to have seen.
+    std::vector<std::shared_ptr<const GraphState>> epochs;
+    epochs.push_back(hub->acquire());
+
+    constexpr int kUpdates = 25;
+    constexpr int kReaders = 4;
+    constexpr int kQueriesPerReader = 40;
+
+    std::thread writer([&] {
+        Rng rng(71);
+        for (int i = 0; i < kUpdates; ++i) {
+            Request r;
+            r.kind = RequestKind::Update;
+            r.id = static_cast<uint64_t>(i);
+            for (int e = 0; e < 3; ++e) {
+                const auto u = static_cast<NodeId>(
+                    rng.nextBounded(w.graph.numNodes()));
+                const auto v = static_cast<NodeId>(
+                    rng.nextBounded(w.graph.numNodes()));
+                if (u != v)
+                    r.addedEdges.emplace_back(u, v);
+            }
+            UpdateResult res = applier.apply({&r, 1});
+            if (res.edgesApplied > 0)
+                epochs.push_back(hub->acquire());
+        }
+    });
+
+    struct Observation
+    {
+        uint64_t epoch;
+        NodeId node;
+        std::vector<float> logits;
+    };
+    std::vector<std::vector<Observation>> seen(kReaders);
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+        readers.emplace_back([&, t] {
+            Rng rng(100 + t);
+            for (int q = 0; q < kQueriesPerReader; ++q) {
+                std::vector<NodeId> targets;
+                for (int i = 0; i < 4; ++i)
+                    targets.push_back(static_cast<NodeId>(
+                        rng.nextBounded(w.graph.numNodes())));
+                auto results =
+                    engine.runBatch(inferenceBatch(targets));
+                for (InferenceResult &r : results)
+                    seen[t].push_back({r.epoch, r.node,
+                                       std::move(r.logits)});
+            }
+        });
+    }
+    writer.join();
+    for (std::thread &t : readers)
+        t.join();
+
+    // Every observation must match the whole-graph reference of the
+    // exact epoch it was served against — a torn read (half-applied
+    // update, stale scale vector, stale adjacency) cannot do that.
+    std::map<uint64_t, DenseMatrix> ref_by_epoch;
+    for (const auto &state : epochs) {
+        Features f;
+        f.dense = w.features;
+        ref_by_epoch[state->epoch] =
+            referenceForward(state->graph, f, w.weights);
+    }
+    size_t checked = 0;
+    for (const auto &observations : seen) {
+        for (const Observation &o : observations) {
+            auto it = ref_by_epoch.find(o.epoch);
+            ASSERT_NE(it, ref_by_epoch.end())
+                << "unknown epoch " << o.epoch;
+            EXPECT_TRUE(bitEqualRow(o.logits, it->second, o.node))
+                << "epoch " << o.epoch << " node " << o.node;
+            checked++;
+        }
+    }
+    EXPECT_EQ(checked,
+              static_cast<size_t>(kReaders) * kQueriesPerReader * 4);
+}
+
+TEST(ServingConcurrency, RealTimeServerServesAndDrains)
+{
+    Workload w = makeWorkload(400, 12, 10, 5, 2, 29);
+    ServerConfig sc;
+    sc.scheduler.maxWaitUs = 500;
+    Server server(w.graph, w.features, w.weights, sc);
+    server.start();
+
+    constexpr int kProducers = 2;
+    constexpr int kPerProducer = 60;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            Rng rng(500 + p);
+            for (int i = 0; i < kPerProducer; ++i) {
+                if (i % 20 == 19) {
+                    const auto u = static_cast<NodeId>(
+                        rng.nextBounded(w.graph.numNodes()));
+                    const auto v = static_cast<NodeId>(
+                        rng.nextBounded(w.graph.numNodes()));
+                    if (u != v)
+                        server.submitUpdate({{u, v}});
+                    else
+                        server.submitInference(u);
+                } else {
+                    server.submitInference(static_cast<NodeId>(
+                        rng.nextBounded(w.graph.numNodes())));
+                }
+            }
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    ReplayReport rep = server.stop();
+
+    const size_t total = kProducers * kPerProducer;
+    size_t coalesced = 0;
+    for (const UpdateResult &u : rep.updates)
+        coalesced += u.coalesced;
+    // Every submitted request is answered exactly once.
+    EXPECT_EQ(rep.inference.size() + coalesced, total);
+    for (const InferenceResult &r : rep.inference) {
+        EXPECT_EQ(r.logits.size(), size_t{5});
+        EXPECT_GE(r.doneUs, r.arrivalUs);
+    }
+}
+
+// ----------------------------------------------- scheduler unit tests
+
+Request
+req(uint64_t id, uint64_t arrival_us, RequestKind kind,
+    NodeId node = 0)
+{
+    Request r;
+    r.kind = kind;
+    r.id = id;
+    r.arrivalUs = arrival_us;
+    r.node = node;
+    return r;
+}
+
+std::vector<std::vector<uint64_t>>
+batchIds(RequestQueue &queue, const SchedulerConfig &cfg)
+{
+    Scheduler sched(queue, cfg, /*real_time=*/false);
+    std::vector<std::vector<uint64_t>> out;
+    MicroBatch b;
+    uint64_t busy = 0;
+    while (sched.next(busy, b)) {
+        std::vector<uint64_t> ids;
+        for (const Request &r : b.requests)
+            ids.push_back(r.id);
+        out.push_back(std::move(ids));
+        busy = b.formedAtUs; // zero service time: dispatch = done
+    }
+    return out;
+}
+
+TEST(ServingScheduler, FcfsMicroBatchingRules)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxWaitUs = 100;
+
+    RequestQueue q;
+    // Two arrivals inside one deadline window; a gap; a lone request;
+    // an update; a trailing inference request.
+    q.push(req(0, 0, RequestKind::Inference));
+    q.push(req(1, 10, RequestKind::Inference));
+    q.push(req(2, 500, RequestKind::Inference));
+    q.push(req(3, 520, RequestKind::Update));
+    q.push(req(4, 530, RequestKind::Inference));
+    q.close();
+
+    auto batches = batchIds(q, cfg);
+    ASSERT_EQ(batches.size(), 4u);
+    EXPECT_EQ(batches[0], (std::vector<uint64_t>{0, 1}));
+    // The update at 520 closes request 2's batch even though 530 is
+    // within its deadline window.
+    EXPECT_EQ(batches[1], (std::vector<uint64_t>{2}));
+    EXPECT_EQ(batches[2], (std::vector<uint64_t>{3}));
+    EXPECT_EQ(batches[3], (std::vector<uint64_t>{4}));
+}
+
+TEST(ServingScheduler, PartialBatchDispatchesWhenClosingHeadArrived)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxWaitUs = 100;
+
+    RequestQueue q;
+    q.push(req(0, 0, RequestKind::Inference));   // waits out deadline
+    q.push(req(1, 500, RequestKind::Inference)); // closed by update
+    q.push(req(2, 520, RequestKind::Update));
+    q.push(req(3, 530, RequestKind::Inference)); // end of stream
+    q.close();
+
+    Scheduler sched(q, cfg, /*real_time=*/false);
+    std::vector<uint64_t> formed;
+    MicroBatch b;
+    uint64_t busy = 0;
+    while (sched.next(busy, b)) {
+        formed.push_back(b.formedAtUs);
+        busy = b.formedAtUs;
+    }
+    ASSERT_EQ(formed.size(), 4u);
+    // {0}: next head arrives past the deadline -> full maxWaitUs.
+    EXPECT_EQ(formed[0], 100u);
+    // {1}: the update at 520 is the closing request -> dispatch then,
+    // not at the 600us deadline.
+    EXPECT_EQ(formed[1], 520u);
+    // {2} (update): closed by request 3's arrival at 530.
+    EXPECT_EQ(formed[2], 530u);
+    // {3}: queue closed -> dispatch at its own arrival (>= busy).
+    EXPECT_EQ(formed[3], 530u);
+}
+
+TEST(ServingScheduler, BatchCapOneYieldsSingletons)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 1;
+    cfg.maxWaitUs = 1000;
+    RequestQueue q;
+    for (uint64_t i = 0; i < 5; ++i)
+        q.push(req(i, i, RequestKind::Inference));
+    q.close();
+    auto batches = batchIds(q, cfg);
+    ASSERT_EQ(batches.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(batches[i], std::vector<uint64_t>{i});
+}
+
+TEST(ServingScheduler, ConsecutiveUpdatesCoalesce)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxWaitUs = 100;
+    cfg.maxUpdateCoalesce = 2;
+    RequestQueue q;
+    q.push(req(0, 0, RequestKind::Update));
+    q.push(req(1, 5, RequestKind::Update));
+    q.push(req(2, 10, RequestKind::Update));
+    q.close();
+    auto batches = batchIds(q, cfg);
+    // Cap 2: first application coalesces {0, 1}, then {2}.
+    ASSERT_EQ(batches.size(), 2u);
+    EXPECT_EQ(batches[0], (std::vector<uint64_t>{0, 1}));
+    EXPECT_EQ(batches[1], (std::vector<uint64_t>{2}));
+}
+
+// --------------------------------------------------- stats unit tests
+
+TEST(ServingStats, NearestRankPercentilesAndHistogram)
+{
+    ServerStats stats;
+    // 100 requests with latencies 1..100 us, in two batches.
+    BatchExecInfo info;
+    info.targets = 50;
+    info.subNodes = 10;
+    for (int b = 0; b < 2; ++b) {
+        stats.recordInferenceBatch(info);
+        for (int i = 0; i < 50; ++i) {
+            InferenceResult r;
+            r.arrivalUs = 0;
+            r.doneUs = static_cast<uint64_t>(b * 50 + i + 1);
+            stats.recordInference(r);
+        }
+    }
+    const LatencySummary lat = stats.inferenceLatency();
+    EXPECT_EQ(lat.count, 100u);
+    EXPECT_DOUBLE_EQ(lat.p50, 50.0);
+    EXPECT_DOUBLE_EQ(lat.p95, 95.0);
+    EXPECT_DOUBLE_EQ(lat.p99, 99.0);
+    EXPECT_EQ(lat.maxUs, 100u);
+    EXPECT_DOUBLE_EQ(lat.meanUs, 50.5);
+    ASSERT_EQ(stats.batchSizeHistogram().size(), 1u);
+    EXPECT_EQ(stats.batchSizeHistogram().at(50), 2u);
+    EXPECT_DOUBLE_EQ(stats.meanBatchSize(), 50.0);
+}
+
+TEST(ServingTrace, DeterministicAndWellFormed)
+{
+    CsrGraph g = hubAndIslandGraph({.numNodes = 300, .seed = 2}).graph;
+    TraceConfig tc;
+    tc.numInference = 500;
+    tc.numUpdates = 50;
+    tc.seed = 12;
+    auto a = makeSyntheticTrace(g, tc);
+    auto b = makeSyntheticTrace(g, tc);
+    ASSERT_EQ(a.size(), 550u);
+    uint64_t inf = 0, upd = 0, prev_arrival = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, i);
+        EXPECT_GE(a[i].arrivalUs, prev_arrival);
+        prev_arrival = a[i].arrivalUs;
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].arrivalUs, b[i].arrivalUs);
+        if (a[i].kind == RequestKind::Inference) {
+            inf++;
+            EXPECT_LT(a[i].node, g.numNodes());
+            EXPECT_EQ(a[i].node, b[i].node);
+        } else {
+            upd++;
+            EXPECT_EQ(a[i].addedEdges, b[i].addedEdges);
+            for (const auto &[u, v] : a[i].addedEdges) {
+                EXPECT_LT(u, g.numNodes());
+                EXPECT_LT(v, g.numNodes());
+            }
+        }
+    }
+    EXPECT_EQ(inf, tc.numInference);
+    EXPECT_EQ(upd, tc.numUpdates);
+}
+
+} // namespace
+} // namespace igcn

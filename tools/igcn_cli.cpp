@@ -8,14 +8,18 @@
  *   islandize  run runtime islandization, print stats, render plots
  *   reorder    apply a lightweight reordering, write the new graph
  *   simulate   run a platform timing model on a dataset or graph file
+ *   serve      replay a synthetic request trace through the online
+ *              inference server (deterministic virtual clock)
  *
  * Examples:
  *   igcn generate --type hubisland --nodes 5000 --out g.txt
  *   igcn islandize --in g.txt --render order.pgm
  *   igcn simulate --dataset cora --model gcn --net algo
  *   igcn simulate --in g.txt --platform awb
+ *   igcn serve --trace --requests 10000 --updates 1000 --batch-cap 32
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,11 +29,16 @@
 #include "accel/igcn_model.hpp"
 #include "accel/platform_models.hpp"
 #include "core/permute.hpp"
+#include "gcn/reference.hpp"
 #include "graph/datasets.hpp"
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "reorder/reorder.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
 
 #include "args.hpp"
+#include "cli_io.hpp"
 
 using namespace igcn;
 using igcn::cli::Args;
@@ -52,17 +61,12 @@ usage()
         "  simulate  (--dataset cora|citeseer|pubmed|nell|reddit\n"
         "            [--scale F] | --in FILE) [--model gcn|gs|gin]\n"
         "            [--net algo|hy]\n"
-        "            [--platform igcn|awb|hygcn|cpu|gpu|sigma]\n");
+        "            [--platform igcn|awb|hygcn|cpu|gpu|sigma]\n"
+        "  serve     --trace [--in FILE | --nodes N] [--requests R]\n"
+        "            [--updates U] [--batch-cap B] [--max-wait-us W]\n"
+        "            [--features F] [--hidden H] [--classes C]\n"
+        "            [--cmax N] [--seed S]\n");
     return 2;
-}
-
-CsrGraph
-loadGraphArg(const Args &args)
-{
-    std::string path = args.get("in");
-    if (path.empty())
-        throw std::runtime_error("--in FILE is required");
-    return loadEdgeList(path);
 }
 
 int
@@ -238,6 +242,86 @@ cmdSimulate(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    if (!args.has("trace"))
+        throw std::runtime_error(
+            "serve currently requires --trace (synthetic replay)");
+
+    CsrGraph g;
+    if (args.has("in")) {
+        g = loadGraphArg(args);
+    } else {
+        HubIslandParams params;
+        params.numNodes =
+            static_cast<NodeId>(args.getInt("nodes", 4000));
+        params.seed = static_cast<uint64_t>(args.getInt("seed", 42));
+        g = hubAndIslandGraph(params).graph;
+    }
+
+    const auto num_features =
+        static_cast<int>(args.getInt("features", 32));
+    const auto hidden = static_cast<int>(args.getInt("hidden", 16));
+    const auto classes = static_cast<int>(args.getInt("classes", 8));
+    const auto seed = static_cast<uint64_t>(args.getInt("seed", 42));
+
+    Rng rng(seed);
+    Features x = makeFeatures(g.numNodes(), num_features,
+                              /*density=*/1.0, rng);
+    ModelConfig mc;
+    mc.name = "serve-gcn";
+    mc.layers = {{num_features, hidden}, {hidden, classes}};
+    std::vector<DenseMatrix> weights = makeWeights(mc, rng);
+
+    serve::TraceConfig tc;
+    tc.numInference =
+        static_cast<uint64_t>(args.getInt("requests", 10000));
+    tc.numUpdates =
+        static_cast<uint64_t>(args.getInt("updates", 1000));
+    tc.seed = seed;
+    std::vector<serve::Request> trace =
+        serve::makeSyntheticTrace(g, tc);
+
+    serve::ServerConfig sc;
+    sc.scheduler.maxBatch =
+        static_cast<uint32_t>(args.getInt("batch-cap", 32));
+    sc.scheduler.maxWaitUs =
+        static_cast<uint64_t>(args.getInt("max-wait-us", 200));
+    sc.locator.maxIslandSize = static_cast<NodeId>(
+        args.getInt("cmax", sc.locator.maxIslandSize));
+
+    std::printf("serve: %u nodes, %llu edges; trace %zu requests "
+                "(%llu inference + %llu updates), batch cap %u, "
+                "max wait %llu us\n",
+                g.numNodes(),
+                static_cast<unsigned long long>(g.numEdges()),
+                trace.size(),
+                static_cast<unsigned long long>(tc.numInference),
+                static_cast<unsigned long long>(tc.numUpdates),
+                sc.scheduler.maxBatch,
+                static_cast<unsigned long long>(
+                    sc.scheduler.maxWaitUs));
+
+    serve::Server server(std::move(g), std::move(x.dense),
+                         std::move(weights), sc);
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::ReplayReport rep = server.runTrace(std::move(trace));
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::printf("replayed %zu inference results, %zu update "
+                "applications in %.2f s wall (%.0f req/s wall)\n",
+                rep.inference.size(), rep.updates.size(), wall_s,
+                static_cast<double>(rep.inference.size()) / wall_s);
+    std::printf("final epoch %llu\n--- stats ---\n%s",
+                static_cast<unsigned long long>(server.currentEpoch()),
+                server.stats().summary().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -259,6 +343,7 @@ main(int argc, char **argv)
         if (cmd == "islandize") return cmdIslandize(args);
         if (cmd == "reorder") return cmdReorder(args);
         if (cmd == "simulate") return cmdSimulate(args);
+        if (cmd == "serve") return cmdServe(args);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "igcn %s: %s\n", cmd.c_str(), e.what());
         return 1;
