@@ -1,11 +1,12 @@
 /**
  * @file
  * Serving benchmark: throughput and tail latency of the online
- * inference server versus micro-batch cap and update rate, per
- * dataset surrogate.
+ * inference server versus micro-batch cap, update rate, and deletion
+ * fraction, per dataset surrogate.
  *
  * Each configuration replays a deterministic synthetic trace (skewed
- * node popularity, bursty arrivals, interleaved edge additions)
+ * node popularity, bursty arrivals, interleaved edge additions and
+ * deletions)
  * through a fresh Server in virtual-clock mode. Latency percentiles
  * come from the virtual clock (deterministic: batch formation is a
  * pure function of trace timestamps, service times from the cost
@@ -37,6 +38,8 @@ struct SweepPoint
 {
     uint32_t batchCap;
     double updateRate;
+    /** Fraction of updates that are edge deletions. */
+    double removeFrac;
 };
 
 struct DatasetCase
@@ -61,10 +64,13 @@ main(int argc, char **argv)
 
     const uint64_t num_inference = quick ? 1500 : 10000;
     const std::vector<SweepPoint> points = quick
-        ? std::vector<SweepPoint>{{8, 0.0}, {32, 0.1}}
-        : std::vector<SweepPoint>{{1, 0.0},  {8, 0.0},  {32, 0.0},
-                                  {128, 0.0}, {8, 0.05}, {32, 0.05},
-                                  {32, 0.2},  {128, 0.2}};
+        ? std::vector<SweepPoint>{{8, 0.0, 0.0}, {32, 0.1, 0.5}}
+        : std::vector<SweepPoint>{{1, 0.0, 0.0},   {8, 0.0, 0.0},
+                                  {32, 0.0, 0.0},  {128, 0.0, 0.0},
+                                  {8, 0.05, 0.0},  {32, 0.05, 0.0},
+                                  {32, 0.2, 0.0},  {128, 0.2, 0.0},
+                                  {32, 0.05, 0.5}, {32, 0.2, 0.5},
+                                  {32, 0.2, 1.0},  {128, 0.2, 0.5}};
     const std::vector<DatasetCase> cases = quick
         ? std::vector<DatasetCase>{{Dataset::Cora, "cora"}}
         : std::vector<DatasetCase>{{Dataset::Cora, "cora"},
@@ -98,9 +104,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         data.graph.numEdges()),
                     data.info.numFeatures, mc.numLayers());
-        std::printf("  %-9s %-8s | %9s %9s | %8s %8s %8s | %s\n",
-                    "batch-cap", "upd-rate", "wall-rps", "virt-rps",
-                    "p50us", "p95us", "p99us", "mean-batch");
+        std::printf("  %-9s %-8s %-8s | %9s %9s | %8s %8s %8s | %s\n",
+                    "batch-cap", "upd-rate", "del-frac", "wall-rps",
+                    "virt-rps", "p50us", "p95us", "p99us",
+                    "mean-batch");
 
         json.beginObject();
         json.key("name").value(c.name);
@@ -115,6 +122,7 @@ main(int argc, char **argv)
             tc.numInference = num_inference;
             tc.numUpdates = static_cast<uint64_t>(
                 p.updateRate * static_cast<double>(num_inference));
+            tc.removeFraction = p.removeFrac;
             tc.seed = 11;
             std::vector<serve::Request> trace =
                 serve::makeSyntheticTrace(data.graph, tc);
@@ -136,16 +144,17 @@ main(int argc, char **argv)
             const double wall_rps =
                 static_cast<double>(rep.inference.size()) / wall_s;
 
-            std::printf("  %-9u %-8.2f | %9.0f %9.0f | %8.0f %8.0f "
-                        "%8.0f | %6.1f\n",
-                        p.batchCap, p.updateRate, wall_rps,
-                        st.throughputRps(), lat.p50, lat.p95, lat.p99,
-                        st.meanBatchSize());
+            std::printf("  %-9u %-8.2f %-8.2f | %9.0f %9.0f | %8.0f "
+                        "%8.0f %8.0f | %6.1f\n",
+                        p.batchCap, p.updateRate, p.removeFrac,
+                        wall_rps, st.throughputRps(), lat.p50,
+                        lat.p95, lat.p99, st.meanBatchSize());
 
             json.beginObject();
             json.key("batch_cap").value(
                 static_cast<uint64_t>(p.batchCap));
             json.key("update_rate").value(p.updateRate);
+            json.key("remove_fraction").value(p.removeFrac);
             json.key("updates").value(tc.numUpdates);
             json.key("wall_seconds").value(wall_s);
             json.key("wall_rps").value(wall_rps);
@@ -162,6 +171,7 @@ main(int argc, char **argv)
                 st.updateApplications());
             json.key("epochs").value(st.epochsPublished());
             json.key("edges_applied").value(st.edgesApplied());
+            json.key("edges_removed").value(st.edgesRemoved());
             json.key("interleaves").value(st.interleaves());
             json.key("mean_subgraph_nodes").value(
                 st.meanSubgraphNodes());

@@ -92,20 +92,83 @@ IslandizationResult
 updateIslandization(const CsrGraph &g,
                     const IslandizationResult &old_result,
                     std::span<const Edge> added,
+                    std::span<const Edge> removed,
                     const LocatorConfig &cfg, IncrementalStats *stats)
 {
     IslandizationResult out = old_result;
     IncrementalStats local_stats;
 
-    // --- 1. Classify each added edge; collect islands to dissolve. -
     std::set<uint32_t> dissolve;
     std::set<Edge> inter_hub(out.interHubEdges.begin(),
                              out.interHubEdges.end());
+
+    // --- 1a. Classify each removed edge (dissolve-on-remove). ------
+    // In a valid old islandization every removed edge was covered as
+    // intra-island, island-hub, or hub-hub; the rules below undo
+    // exactly that coverage. Endpoints can also be Unclassified when
+    // an earlier removal in this span already scheduled their island:
+    // they are dirty either way and need no further work.
+    std::set<NodeId> demotion_check;
+    for (const auto &[u, v] : removed) {
+        for (NodeId x : {u, v}) {
+            if (out.role[x] == NodeRole::Hub)
+                demotion_check.insert(x);
+            else if (out.role[x] == NodeRole::IslandNode)
+                dissolve.insert(out.islandOf[x]);
+        }
+        if (out.role[u] == NodeRole::Hub &&
+            out.role[v] == NodeRole::Hub) {
+            // A failed erase means a duplicate within the span
+            // (callers pass deduplicated spans; withRemovedEdges
+            // collapses duplicates the same way): not an absorbed
+            // edge, so it counts nowhere.
+            if (inter_hub.erase({std::min(u, v), std::max(u, v)}))
+                local_stats.edgesRemovedInterHub++;
+        }
+    }
+
+    // --- 1b. Demote hubs starved by the removals. ------------------
+    // A hub that kept >= kDemotionFloor edges still works as a
+    // border, whatever a fresh run would decide; below the floor it
+    // cannot connect anything and must be re-classified. Demotion
+    // dissolves every island listing the hub (all islands adjacent
+    // to it — coverage says an adjacent island lists it) and erases
+    // its surviving inter-hub entries; the edges resurface through
+    // the repair BFS's border collection, or the new-hub promotion
+    // pass if the node re-qualifies at a lower threshold.
+    constexpr NodeId kDemotionFloor = 2;
+    std::vector<NodeId> demoted;
+    for (NodeId h : demotion_check) {
+        if (out.role[h] != NodeRole::Hub ||
+            g.degree(h) >= kDemotionFloor)
+            continue;
+        out.role[h] = NodeRole::Unclassified;
+        out.hubRound[h] = 0;
+        demoted.push_back(h);
+        local_stats.hubsDemoted++;
+        for (NodeId n : g.neighbors(h)) {
+            inter_hub.erase({std::min(h, n), std::max(h, n)});
+            if (out.role[n] == NodeRole::IslandNode)
+                dissolve.insert(out.islandOf[n]);
+        }
+    }
+
+    // --- 1c. Classify each added edge. -----------------------------
     auto island_has_hub = [&](uint32_t island_id, NodeId hub) {
         const auto &hubs = out.islands[island_id].hubs;
         return std::binary_search(hubs.begin(), hubs.end(), hub);
     };
     for (const auto &[u, v] : added) {
+        if (out.role[u] == NodeRole::Unclassified ||
+            out.role[v] == NodeRole::Unclassified) {
+            // A dirty endpoint (scheduled by a removal above) rides
+            // the repair; a live-island partner must dissolve so the
+            // dirty set stays closed under adjacency.
+            for (NodeId x : {u, v})
+                if (out.role[x] == NodeRole::IslandNode)
+                    dissolve.insert(out.islandOf[x]);
+            continue;
+        }
         const bool u_hub = out.role[u] == NodeRole::Hub;
         const bool v_hub = out.role[v] == NodeRole::Hub;
         if (u_hub && v_hub) {
@@ -135,7 +198,7 @@ updateIslandization(const CsrGraph &g,
     out.interHubEdges.assign(inter_hub.begin(), inter_hub.end());
 
     // --- 2. Dissolve invalidated islands. --------------------------
-    std::vector<NodeId> dirty;
+    std::vector<NodeId> dirty = demoted;
     for (uint32_t id : dissolve) {
         for (NodeId v : out.islands[id].nodes) {
             out.role[v] = NodeRole::Unclassified;
@@ -243,6 +306,16 @@ updateIslandization(const CsrGraph &g,
     if (stats)
         *stats = local_stats;
     return out;
+}
+
+IslandizationResult
+updateIslandization(const CsrGraph &g,
+                    const IslandizationResult &old_result,
+                    std::span<const Edge> added,
+                    const LocatorConfig &cfg, IncrementalStats *stats)
+{
+    return updateIslandization(g, old_result, added,
+                               std::span<const Edge>{}, cfg, stats);
 }
 
 } // namespace igcn

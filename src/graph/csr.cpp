@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 namespace igcn {
 
@@ -111,11 +112,72 @@ CsrGraph::withAddedEdges(std::span<const Edge> added) const
     return fromCsrArrays(std::move(rp), std::move(ci));
 }
 
+CsrGraph
+CsrGraph::withRemovedEdges(std::span<const Edge> removed) const
+{
+    const NodeId n = numNodes();
+    std::vector<Edge> arcs;
+    arcs.reserve(removed.size() * 2);
+    for (const auto &[u, v] : removed) {
+        if (u >= n || v >= n)
+            throw std::out_of_range(
+                "withRemovedEdges: endpoint exceeds num_nodes");
+        arcs.emplace_back(u, v);
+        if (u != v)
+            arcs.emplace_back(v, u);
+    }
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+    auto missing = [](const Edge &arc) {
+        throw std::invalid_argument(
+            "withRemovedEdges: edge (" +
+            std::to_string(arc.first) + ", " +
+            std::to_string(arc.second) + ") not present");
+    };
+
+    std::vector<EdgeId> rp(static_cast<size_t>(n) + 1, 0);
+    std::vector<NodeId> ci;
+    ci.reserve(colIdx.size() >= arcs.size()
+                   ? colIdx.size() - arcs.size()
+                   : 0);
+    size_t ai = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        for (EdgeId e = rowPtr[u]; e < rowPtr[u + 1]; ++e) {
+            // Arcs sorted before this row entry matched nothing.
+            while (ai < arcs.size() && arcs[ai].first == u &&
+                   arcs[ai].second < colIdx[e])
+                missing(arcs[ai]);
+            if (ai < arcs.size() && arcs[ai].first == u &&
+                arcs[ai].second == colIdx[e]) {
+                ai++; // drop this arc
+                continue;
+            }
+            ci.push_back(colIdx[e]);
+        }
+        while (ai < arcs.size() && arcs[ai].first == u)
+            missing(arcs[ai]);
+        rp[u + 1] = ci.size();
+    }
+    return fromCsrArrays(std::move(rp), std::move(ci));
+}
+
 bool
 CsrGraph::hasEdge(NodeId u, NodeId v) const
 {
     auto nbrs = neighbors(u);
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+NodeId
+CsrGraph::arcSource(EdgeId e) const
+{
+    if (e >= numEdges())
+        throw std::out_of_range(
+            "arcSource: arc slot exceeds numEdges");
+    return static_cast<NodeId>(
+        std::upper_bound(rowPtr.begin(), rowPtr.end(), e) -
+        rowPtr.begin() - 1);
 }
 
 std::vector<NodeId>

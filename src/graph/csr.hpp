@@ -177,6 +177,24 @@ class CsrGraph
     CsrGraph withAddedEdges(std::span<const Edge> added) const;
 
     /**
+     * Copy of this graph with undirected edges removed (both arcs; a
+     * self loop (v, v) is the single arc). The merge-based mirror of
+     * withAddedEdges — a per-row sweep of the sorted adjacency
+     * dropping the sorted removal arcs, O(E + k log k) for k removed
+     * edges — the steady-state deletion path of the online serving
+     * subsystem. Duplicate edges (and both orientations of one edge)
+     * within `removed` collapse to a single removal, the same
+     * set-semantics withAddedEdges gives duplicates. Every requested
+     * edge must actually be present: a nonexistent edge throws
+     * std::invalid_argument naming the edge (the serving layer
+     * screens its spans against hasEdge first; the graph API itself
+     * is strict so silent divergence between a caller's view and the
+     * graph cannot pass unnoticed). Endpoints out of range throw
+     * std::out_of_range.
+     */
+    CsrGraph withRemovedEdges(std::span<const Edge> removed) const;
+
+    /**
      * Number of nodes. A graph whose rowPtr is empty (moved-from, or
      * otherwise never built) reports 0 instead of underflowing
      * rowPtr.size() - 1 to 0xFFFFFFFF.
@@ -267,6 +285,15 @@ class CsrGraph
 
     /** Column index array (size numEdges). */
     const std::vector<NodeId> &cols() const { return colIdx; }
+
+    /**
+     * Source node of arc slot e — the row whose rowPtr span contains
+     * position e of cols() — so (arcSource(e), cols()[e]) is the
+     * e-th stored arc. O(log numNodes). Lets callers sample edges
+     * uniformly by arc slot (the trace generator's deletion events).
+     * @throws std::out_of_range when e >= numEdges().
+     */
+    NodeId arcSource(EdgeId e) const;
 
     bool operator==(const CsrGraph &other) const = default;
 

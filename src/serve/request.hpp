@@ -37,6 +37,13 @@ struct Request
     NodeId node = 0;
     /** Undirected edges to add (Update only). */
     std::vector<Edge> addedEdges;
+    /**
+     * Undirected edges to delete (Update only). One request may
+     * carry both lists; its removals apply after its additions, and
+     * across a coalesced span the applier folds everything into one
+     * last-write-wins net effect (see UpdateApplier).
+     */
+    std::vector<Edge> removedEdges;
 };
 
 /** Completed inference request. */
@@ -69,7 +76,11 @@ struct UpdateResult
     uint32_t coalesced = 0;
     /** New undirected edges actually inserted. */
     size_t edgesApplied = 0;
-    /** Edges dropped: out of range, self loops, duplicates, present. */
+    /** Existing undirected edges actually deleted. */
+    size_t edgesRemoved = 0;
+    /** Events dropped: out of range, self loops, additions already
+     *  present, removals already absent, add/remove pairs that
+     *  cancelled inside the span. */
     size_t edgesSkipped = 0;
     uint64_t arrivalUs = 0;
     uint64_t startUs = 0;

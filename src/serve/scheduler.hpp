@@ -11,8 +11,10 @@
  * what makes per-request results independent of the batch cap (an
  * update can never jump ahead of, or fall behind, an inference
  * request it raced in arrival order). Consecutive updates coalesce
- * into one application, the exact batched `std::span` pattern
- * updateIslandization is tested for.
+ * into one application regardless of whether they add or delete
+ * edges — the applier folds the mixed span into one last-write-wins
+ * net effect (the mixed-span coalescing rule) — the exact batched
+ * `std::span` pattern updateIslandization is tested for.
  *
  * In virtual mode the decisions above are a pure function of the
  * trace timestamps and this config — the determinism contract the

@@ -28,6 +28,7 @@ ServiceModel::updateCostUs(const UpdateResult &res) const
 {
     const double cost = updateFixedUs +
         perAppliedEdgeUs * static_cast<double>(res.edgesApplied) +
+        perRemovedEdgeUs * static_cast<double>(res.edgesRemoved) +
         perScannedEdgeUs *
             static_cast<double>(res.stats.edgesScanned);
     return static_cast<uint64_t>(std::ceil(cost));
@@ -154,7 +155,8 @@ Server::submitInference(NodeId node)
 }
 
 uint64_t
-Server::submitUpdate(std::vector<Edge> edges)
+Server::submitUpdate(std::vector<Edge> added,
+                     std::vector<Edge> removed)
 {
     if (!running)
         throw std::logic_error("submitUpdate: server not running");
@@ -162,7 +164,8 @@ Server::submitUpdate(std::vector<Edge> edges)
     r.kind = RequestKind::Update;
     r.id = nextId.fetch_add(1);
     r.arrivalUs = nowUs();
-    r.addedEdges = std::move(edges);
+    r.addedEdges = std::move(added);
+    r.removedEdges = std::move(removed);
     const uint64_t id = r.id;
     liveQueue.push(std::move(r));
     return id;

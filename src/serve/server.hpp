@@ -49,6 +49,9 @@ struct ServiceModel
     double perSubEdgeUs = 0.005;
     double updateFixedUs = 20.0;
     double perAppliedEdgeUs = 1.0;
+    /** Deletions pay the same merge cost as insertions plus the
+     *  dissolve bookkeeping, charged via edgesScanned below. */
+    double perRemovedEdgeUs = 1.0;
     double perScannedEdgeUs = 0.02;
 
     uint64_t inferenceCostUs(const BatchExecInfo &info,
@@ -92,8 +95,10 @@ class Server
     void start();
     /** Submit a live inference request; returns its id. */
     uint64_t submitInference(NodeId node);
-    /** Submit a live edge-addition request; returns its id. */
-    uint64_t submitUpdate(std::vector<Edge> edges);
+    /** Submit a live edge-mutation request (additions and/or
+     *  deletions); returns its id. */
+    uint64_t submitUpdate(std::vector<Edge> added,
+                          std::vector<Edge> removed = {});
     /** Close the queue, drain it, join the thread, return results. */
     ReplayReport stop();
 

@@ -66,7 +66,8 @@ ServerStats::recordUpdate(const UpdateResult &r)
     numUpdBatches++;
     numUpdCoalesced += r.coalesced;
     numEdgesApplied += r.edgesApplied;
-    if (r.edgesApplied > 0)
+    numEdgesRemoved += r.edgesRemoved;
+    if (r.edgesApplied > 0 || r.edgesRemoved > 0)
         numEpochs++;
     firstArrivalUs = std::min(firstArrivalUs, r.arrivalUs);
     lastDoneUs = std::max(lastDoneUs, r.doneUs);
@@ -128,7 +129,7 @@ ServerStats::summary() const
         "latency us: p50 %.0f  p95 %.0f  p99 %.0f  mean %.1f  max %llu\n"
         "throughput: %.0f req/s (server-clock makespan)\n"
         "updates: %llu applications (%llu requests coalesced, "
-        "%llu edges applied, %llu epochs)\n"
+        "%llu edges added, %llu removed, %llu epochs)\n"
         "update latency us: p50 %.0f  p99 %.0f\n"
         "interleaves: %llu  mean receptive field: %.1f nodes\n",
         static_cast<unsigned long long>(inf.count),
@@ -140,6 +141,7 @@ ServerStats::summary() const
         static_cast<unsigned long long>(numUpdBatches),
         static_cast<unsigned long long>(numUpdCoalesced),
         static_cast<unsigned long long>(numEdgesApplied),
+        static_cast<unsigned long long>(numEdgesRemoved),
         static_cast<unsigned long long>(numEpochs), upd.p50, upd.p99,
         static_cast<unsigned long long>(numInterleaves),
         meanSubgraphNodes());

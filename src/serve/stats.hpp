@@ -58,6 +58,7 @@ class ServerStats
     uint64_t updatesCoalesced() const { return numUpdCoalesced; }
     uint64_t epochsPublished() const { return numEpochs; }
     uint64_t edgesApplied() const { return numEdgesApplied; }
+    uint64_t edgesRemoved() const { return numEdgesRemoved; }
     uint64_t wholeGraphBatches() const { return numWholeGraph; }
     /** Inference <-> update transitions in dispatch order. */
     uint64_t interleaves() const { return numInterleaves; }
@@ -76,6 +77,7 @@ class ServerStats
     uint64_t numUpdCoalesced = 0;
     uint64_t numEpochs = 0;
     uint64_t numEdgesApplied = 0;
+    uint64_t numEdgesRemoved = 0;
     uint64_t numWholeGraph = 0;
     uint64_t numInterleaves = 0;
     uint64_t subNodesTotal = 0;

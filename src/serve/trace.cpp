@@ -52,13 +52,27 @@ makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
                 1 + static_cast<int>(rng.nextBounded(
                         static_cast<uint64_t>(
                             std::max(1, cfg.maxEdgesPerUpdate))));
-            for (int e = 0; e < k; ++e) {
-                const auto u =
-                    static_cast<NodeId>(rng.nextBounded(n));
-                const auto v =
-                    static_cast<NodeId>(rng.nextBounded(n));
-                if (u != v)
-                    r.addedEdges.emplace_back(u, v);
+            // Guarded draw: removeFraction == 0 consumes no extra
+            // randomness, keeping pre-deletion traces bit-identical.
+            const bool is_remove = cfg.removeFraction > 0.0 &&
+                g.numEdges() > 0 && rng.nextBool(cfg.removeFraction);
+            if (is_remove) {
+                for (int e = 0; e < k; ++e) {
+                    // Uniform over the initial graph's arcs: pick an
+                    // arc slot, map it back to its row.
+                    const EdgeId arc = rng.nextBounded(g.numEdges());
+                    r.removedEdges.emplace_back(g.arcSource(arc),
+                                                g.cols()[arc]);
+                }
+            } else {
+                for (int e = 0; e < k; ++e) {
+                    const auto u =
+                        static_cast<NodeId>(rng.nextBounded(n));
+                    const auto v =
+                        static_cast<NodeId>(rng.nextBounded(n));
+                    if (u != v)
+                        r.addedEdges.emplace_back(u, v);
+                }
             }
             remaining_upd--;
         } else {

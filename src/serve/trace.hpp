@@ -4,7 +4,8 @@
  * benchmarks: a seeded mix of inference requests (with a skewed
  * target popularity, queries concentrating on high-degree nodes the
  * way user traffic concentrates on popular entities) and small
- * edge-addition updates, with bursty exponential inter-arrival gaps.
+ * edge-addition and edge-deletion updates, with bursty exponential
+ * inter-arrival gaps.
  */
 
 #pragma once
@@ -28,6 +29,16 @@ struct TraceConfig
     double hotSetFraction = 0.05;
     /** Edges per update request, uniform in [1, maxEdgesPerUpdate]. */
     int maxEdgesPerUpdate = 4;
+    /**
+     * Fraction of update requests that are deletions. A deletion
+     * request samples arcs of the *initial* graph uniformly, so a
+     * previously deleted edge can be requested again later in the
+     * trace — the applier screens those to deterministic no-ops,
+     * which is exactly the duplicate-delete traffic a real evolving
+     * graph produces. 0.0 (the default) reproduces the pre-deletion
+     * trace stream bit-for-bit.
+     */
+    double removeFraction = 0.0;
     uint64_t seed = 1;
 };
 

@@ -1,6 +1,6 @@
 #include "serve/update.hpp"
 
-#include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace igcn::serve {
@@ -27,9 +27,16 @@ UpdateApplier::apply(std::span<const Request> batch)
     res.arrivalUs = batch.front().arrivalUs;
     res.coalesced = static_cast<uint32_t>(batch.size());
 
-    // Normalize the batch: drop invalid endpoints, self loops, and
-    // edges already present; deduplicate the rest.
-    std::vector<Edge> fresh;
+    // Mixed-span coalescing rule: fold the whole span into one
+    // last-write-wins net effect per undirected edge, in event order
+    // (requests in arrival order; within a request additions before
+    // removals). Invalid endpoints and self loops are dropped here —
+    // the serving boundary is lenient so a malformed trace event
+    // cannot take the server down — and the net effect is then
+    // screened against the current epoch, so the strict graph API
+    // below (withAddedEdges / withRemovedEdges) always receives
+    // exactly the edges that change presence.
+    std::map<Edge, bool> want; // normalized edge -> present after span
     size_t proposed = 0;
     for (const Request &r : batch) {
         if (r.kind != RequestKind::Update)
@@ -39,26 +46,41 @@ UpdateApplier::apply(std::span<const Request> batch)
             proposed++;
             if (u >= n || v >= n || u == v)
                 continue;
-            if (cur->graph.hasEdge(u, v))
+            want[{std::min(u, v), std::max(u, v)}] = true;
+        }
+        for (const auto &[u, v] : r.removedEdges) {
+            proposed++;
+            if (u >= n || v >= n || u == v)
                 continue;
-            fresh.emplace_back(std::min(u, v), std::max(u, v));
+            want[{std::min(u, v), std::max(u, v)}] = false;
         }
     }
-    std::sort(fresh.begin(), fresh.end());
-    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    std::vector<Edge> fresh, stale;
+    for (const auto &[e, present] : want) {
+        const bool has = cur->graph.hasEdge(e.first, e.second);
+        if (present && !has)
+            fresh.push_back(e);
+        else if (!present && has)
+            stale.push_back(e);
+    }
     res.edgesApplied = fresh.size();
-    res.edgesSkipped = proposed - fresh.size();
+    res.edgesRemoved = stale.size();
+    res.edgesSkipped = proposed - fresh.size() - stale.size();
 
-    if (fresh.empty()) {
+    if (fresh.empty() && stale.empty()) {
         res.epoch = cur->epoch; // no-op: nothing to publish
         return res;
     }
 
     auto next = std::make_shared<GraphState>();
     next->epoch = cur->epoch + 1;
-    next->graph = cur->graph.withAddedEdges(fresh);
+    next->graph = fresh.empty() ? cur->graph.withRemovedEdges(stale)
+                                : cur->graph.withAddedEdges(fresh);
+    if (!fresh.empty() && !stale.empty())
+        next->graph = next->graph.withRemovedEdges(stale);
     next->islands = updateIslandization(next->graph, cur->islands,
-                                        fresh, locator, &res.stats);
+                                        fresh, stale, locator,
+                                        &res.stats);
     next->scale = degreeScaling(next->graph);
     // Copying drops the CSC cache by construction; the refresh
     // mutates the arrays in place and re-asserts the invalidation,

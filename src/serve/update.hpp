@@ -1,17 +1,24 @@
 /**
  * @file
- * The update applier: edge-addition requests become new graph epochs.
+ * The update applier: edge-mutation requests become new graph epochs.
  *
- * Each apply() takes one (possibly coalesced) update micro-batch,
- * builds the next epoch privately — merge-based edge insertion
- * (CsrGraph::withAddedEdges), *incremental* islandization repair
- * (updateIslandization, the paper's evolving-graph machinery), fresh
- * degree scaling, and an in-place A_hat refresh that drops the
- * matrix's cached CSC adjunct (refreshNormalizedAdjacency) — and
- * publishes it through the GraphStateHub. In-flight inference
- * batches keep their pre-update snapshots; batches formed after the
- * publish see the new epoch. Updates that add nothing new (duplicate
- * edges, self loops, out-of-range endpoints) publish no epoch.
+ * Each apply() takes one (possibly coalesced) update micro-batch of
+ * mixed edge additions and deletions, folds it into one
+ * last-write-wins net effect per undirected edge (the mixed-span
+ * coalescing rule: requests in arrival order, additions before
+ * removals within a request), and builds the next epoch privately —
+ * merge-based edge insertion/deletion (CsrGraph::withAddedEdges /
+ * withRemovedEdges), *incremental* islandization repair
+ * (updateIslandization with both spans: the paper's evolving-graph
+ * machinery, dissolve-on-remove included), fresh degree scaling, and
+ * an in-place A_hat refresh that drops the matrix's cached CSC
+ * adjunct (refreshNormalizedAdjacency) — and publishes it through
+ * the GraphStateHub. In-flight inference batches keep their
+ * pre-update snapshots; batches formed after the publish see the new
+ * epoch. Updates whose net effect is empty (duplicate or
+ * already-present additions, already-absent removals, add/remove
+ * pairs cancelling inside the span, self loops, out-of-range
+ * endpoints) publish no epoch.
  */
 
 #pragma once

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -260,6 +261,112 @@ TEST(CsrGraph, WithAddedEdgesMatchesEdgeListRebuild)
     EXPECT_THROW(pathGraph(4).withAddedEdges(
                      std::vector<Edge>{{0, 9}}),
                  std::out_of_range);
+}
+
+TEST(CsrGraph, WithAddedEdgesNegativePaths)
+{
+    // The documented no-ops of the insertion path: self loops are
+    // dropped, duplicates within one span and edges already present
+    // are absorbed — the graph must come out unchanged, not throw.
+    CsrGraph g = pathGraph(5);
+    EXPECT_EQ(g.withAddedEdges(std::vector<Edge>{{2, 2}}), g);
+    EXPECT_EQ(g.withAddedEdges(std::vector<Edge>{{0, 1}, {1, 0}}), g);
+    CsrGraph once = g.withAddedEdges(std::vector<Edge>{{0, 3}});
+    CsrGraph twice = g.withAddedEdges(
+        std::vector<Edge>{{0, 3}, {3, 0}, {0, 3}});
+    EXPECT_EQ(once, twice);
+}
+
+TEST(CsrGraph, WithRemovedEdgesMatchesEdgeListRebuild)
+{
+    // Differential mirror of the insertion test: the per-row
+    // deletion sweep must equal a full rebuild from the filtered
+    // edge list, across graph families.
+    Rng rng(41);
+    std::vector<CsrGraph> graphs;
+    graphs.push_back(erdosRenyi(300, 6.0, 2));
+    graphs.push_back(pathGraph(50));
+    graphs.push_back(starGraph(40));
+    for (const CsrGraph &g : graphs) {
+        // Sample distinct existing undirected edges.
+        std::vector<Edge> pool;
+        for (const auto &[u, v] : g.toEdges())
+            if (u < v)
+                pool.emplace_back(u, v);
+        std::vector<Edge> removed;
+        for (int i = 0; i < 25 && !pool.empty(); ++i) {
+            const size_t j = rng.nextBounded(pool.size());
+            removed.push_back(pool[j]);
+            pool[j] = pool.back();
+            pool.pop_back();
+        }
+        CsrGraph pruned = g.withRemovedEdges(removed);
+        std::set<Edge> gone;
+        for (const auto &[u, v] : removed) {
+            gone.insert({u, v});
+            gone.insert({v, u});
+        }
+        std::vector<Edge> kept;
+        for (const Edge &e : g.toEdges())
+            if (!gone.count(e))
+                kept.push_back(e);
+        CsrGraph rebuilt = CsrGraph::fromEdges(
+            g.numNodes(), kept, /*symmetrize=*/false);
+        EXPECT_EQ(pruned, rebuilt);
+        EXPECT_EQ(pruned.numEdges(),
+                  g.numEdges() - 2 * removed.size());
+    }
+}
+
+TEST(CsrGraph, ArcSourceInvertsRowLayout)
+{
+    CsrGraph g = erdosRenyi(80, 4.0, 6);
+    EdgeId e = 0;
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        for ([[maybe_unused]] NodeId v : g.neighbors(u))
+            EXPECT_EQ(g.arcSource(e++), u);
+    EXPECT_THROW(g.arcSource(g.numEdges()), std::out_of_range);
+}
+
+TEST(CsrGraph, WithRemovedEdgesNegativePaths)
+{
+    CsrGraph g = pathGraph(5); // edges 0-1, 1-2, 2-3, 3-4
+
+    // Removing a nonexistent edge errors loudly.
+    EXPECT_THROW(g.withRemovedEdges(std::vector<Edge>{{0, 3}}),
+                 std::invalid_argument);
+    // ... also when mixed with present edges, in any position.
+    EXPECT_THROW(g.withRemovedEdges(
+                     std::vector<Edge>{{0, 1}, {0, 4}}),
+                 std::invalid_argument);
+    // Out-of-range endpoints are a distinct loud error.
+    EXPECT_THROW(g.withRemovedEdges(std::vector<Edge>{{0, 9}}),
+                 std::out_of_range);
+    // A self loop is an edge like any other: absent here, so loud.
+    EXPECT_THROW(g.withRemovedEdges(std::vector<Edge>{{2, 2}}),
+                 std::invalid_argument);
+    // ... and removable when the graph actually stores it.
+    CsrGraph with_loop = CsrGraph::fromEdges(
+        3, {{0, 1}, {1, 1}}, /*symmetrize=*/true,
+        /*keep_self_loops=*/true);
+    CsrGraph no_loop =
+        with_loop.withRemovedEdges(std::vector<Edge>{{1, 1}});
+    EXPECT_EQ(no_loop.numSelfLoops(), 0u);
+    EXPECT_TRUE(no_loop.hasEdge(0, 1));
+
+    // Duplicates within one span (and both orientations of one
+    // edge) collapse to a single removal: documented set semantics,
+    // mirroring withAddedEdges.
+    CsrGraph a = g.withRemovedEdges(
+        std::vector<Edge>{{1, 2}, {2, 1}, {1, 2}});
+    CsrGraph b = g.withRemovedEdges(std::vector<Edge>{{1, 2}});
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.hasEdge(1, 2));
+    EXPECT_FALSE(a.hasEdge(2, 1));
+
+    // Add-then-remove round-trips to the original graph.
+    CsrGraph grown = g.withAddedEdges(std::vector<Edge>{{0, 4}});
+    EXPECT_EQ(grown.withRemovedEdges(std::vector<Edge>{{4, 0}}), g);
 }
 
 TEST(CsrGraph, ExtractLHopSubgraphLevels)

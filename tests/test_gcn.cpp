@@ -42,6 +42,39 @@ TEST(Layer, NormalizedAdjacencyRowStochasticProperty)
     }
 }
 
+TEST(Layer, RefreshNormalizedAdjacencyIsRemovalAware)
+{
+    // The update applier's exact epoch pattern, in the shrinking
+    // direction: refresh a populated A_hat in place against a graph
+    // with *fewer* edges. Rows must shrink correctly (stale tail
+    // entries gone), the result must equal a from-scratch build, and
+    // the cached CSC adjunct must have been dropped — a stale CSC
+    // would make the push-style kernels read deleted edges.
+    CsrGraph g = erdosRenyi(120, 6.0, 21);
+    CsrMatrix a_hat = normalizedAdjacency(g);
+    (void)a_hat.csc(); // populate the adjunct cache
+
+    std::vector<Edge> removed;
+    for (const auto &[u, v] : g.toEdges())
+        if (u < v && removed.size() < 40)
+            removed.push_back({u, v});
+    CsrGraph g2 = g.withRemovedEdges(removed);
+
+    refreshNormalizedAdjacency(a_hat, g2, degreeScaling(g2));
+    CsrMatrix fresh = normalizedAdjacency(g2);
+    EXPECT_EQ(a_hat.rowPtr, fresh.rowPtr);
+    EXPECT_EQ(a_hat.colIdx, fresh.colIdx);
+    EXPECT_EQ(a_hat.values, fresh.values);
+    EXPECT_EQ(a_hat.nnz(), g2.numEdges() + g2.numNodes());
+
+    // The refreshed matrix's CSC is rebuilt from the new arrays.
+    const CscIndex &csc = a_hat.csc();
+    EXPECT_EQ(csc.rowOf.size(), a_hat.nnz());
+    EXPECT_EQ(csc.colPtr, fresh.csc().colPtr);
+    EXPECT_EQ(csc.rowOf, fresh.csc().rowOf);
+    EXPECT_EQ(csc.valOf, fresh.csc().valOf);
+}
+
 TEST(Layer, FactoredEqualsWeighted)
 {
     // S (A+I) S X == A_hat X: the identity the hardware exploits.

@@ -230,6 +230,152 @@ TEST(Incremental, BatchedMixedStreamEquivalentToOneBigBatch)
     EXPECT_NEAR(rate_big, rate_small, 0.08);
 }
 
+TEST(Incremental, IntraIslandRemovalDissolvesTheIsland)
+{
+    // Deleting an edge *inside* an island may disconnect it, so the
+    // island must be dissolved and re-derived, not patched.
+    auto hi = hubAndIslandGraph({.numNodes = 600, .seed = 4});
+    LocatorConfig cfg;
+    auto isl = islandize(hi.graph, cfg);
+
+    const Island *target = nullptr;
+    Edge internal{0, 0};
+    for (const Island &island : isl.islands) {
+        for (NodeId u : island.nodes)
+            for (NodeId v : island.nodes)
+                if (u < v && hi.graph.hasEdge(u, v)) {
+                    target = &island;
+                    internal = {u, v};
+                }
+        if (target)
+            break;
+    }
+    ASSERT_NE(target, nullptr);
+
+    std::vector<Edge> removed{internal};
+    CsrGraph g2 = hi.graph.withRemovedEdges(removed);
+    IncrementalStats stats;
+    auto updated =
+        updateIslandization(g2, isl, {}, removed, cfg, &stats);
+    EXPECT_GE(stats.islandsDissolved, 1u);
+    EXPECT_GT(stats.nodesReclassified, 0u);
+    checkPostconditions(g2, updated, cfg);
+}
+
+TEST(Incremental, HubHubRemovalOnlyErasesInterHubEntry)
+{
+    auto hi = hubAndIslandGraph({.numNodes = 800, .seed = 6});
+    LocatorConfig cfg;
+    auto isl = islandize(hi.graph, cfg);
+    ASSERT_FALSE(isl.interHubEdges.empty());
+
+    // Pick an inter-hub edge whose endpoints keep degree >= 2, so no
+    // demotion cascades: the repair must be pure bookkeeping.
+    Edge pick{0, 0};
+    bool found = false;
+    for (const Edge &e : isl.interHubEdges)
+        if (hi.graph.degree(e.first) > 2 &&
+            hi.graph.degree(e.second) > 2) {
+            pick = e;
+            found = true;
+            break;
+        }
+    ASSERT_TRUE(found);
+
+    std::vector<Edge> removed{pick};
+    CsrGraph g2 = hi.graph.withRemovedEdges(removed);
+    IncrementalStats stats;
+    auto updated =
+        updateIslandization(g2, isl, {}, removed, cfg, &stats);
+    EXPECT_EQ(stats.islandsDissolved, 0u);
+    EXPECT_EQ(stats.hubsDemoted, 0u);
+    EXPECT_EQ(stats.edgesRemovedInterHub, 1u);
+    EXPECT_EQ(stats.nodesReclassified, 0u);
+    EXPECT_EQ(updated.islands.size(), isl.islands.size());
+    EXPECT_EQ(updated.interHubEdges.size(),
+              isl.interHubEdges.size() - 1);
+    checkPostconditions(g2, updated, cfg);
+}
+
+TEST(Incremental, StarvedHubIsDemoted)
+{
+    // Remove all but one edge of a hub: it falls below the demotion
+    // floor, every island listing it dissolves, and the repair
+    // re-classifies the region with no stale hub-list entries.
+    auto hi = hubAndIslandGraph({.numNodes = 700, .seed = 11});
+    LocatorConfig cfg;
+    auto isl = islandize(hi.graph, cfg);
+
+    NodeId hub = 0;
+    bool found = false;
+    for (NodeId v = 0; v < hi.graph.numNodes() && !found; ++v)
+        if (isl.role[v] == NodeRole::Hub && hi.graph.degree(v) >= 3)
+        {
+            hub = v;
+            found = true;
+        }
+    ASSERT_TRUE(found);
+
+    auto nbrs = hi.graph.neighbors(hub);
+    std::vector<Edge> removed;
+    for (size_t i = 0; i + 1 < nbrs.size(); ++i)
+        removed.emplace_back(hub, nbrs[i]);
+
+    CsrGraph g2 = hi.graph.withRemovedEdges(removed);
+    ASSERT_EQ(g2.degree(hub), 1u);
+    IncrementalStats stats;
+    auto updated =
+        updateIslandization(g2, isl, {}, removed, cfg, &stats);
+    EXPECT_GE(stats.hubsDemoted, 1u);
+    EXPECT_NE(updated.role[hub], NodeRole::Unclassified);
+    checkPostconditions(g2, updated, cfg);
+    // No island may still list the demoted node unless it
+    // re-qualified as a hub during the repair.
+    if (updated.role[hub] != NodeRole::Hub) {
+        for (const Island &island : updated.islands) {
+            EXPECT_FALSE(std::binary_search(island.hubs.begin(),
+                                            island.hubs.end(), hub));
+        }
+    }
+}
+
+TEST(Incremental, MixedAddRemoveSpanMatchesPostconditions)
+{
+    // The applier's exact shape: one span carrying disjoint adds and
+    // removes, applied in one updateIslandization call.
+    auto hi = hubAndIslandGraph({.numNodes = 900, .seed = 15});
+    LocatorConfig cfg;
+    CsrGraph g = hi.graph;
+    auto isl = islandize(g, cfg);
+    Rng rng(27);
+
+    for (int batch = 0; batch < 5; ++batch) {
+        std::vector<Edge> adds, removes;
+        std::set<Edge> touched;
+        for (int e = 0; e < 8; ++e) {
+            const auto u =
+                static_cast<NodeId>(rng.nextBounded(g.numNodes()));
+            const auto v =
+                static_cast<NodeId>(rng.nextBounded(g.numNodes()));
+            if (u == v)
+                continue;
+            const Edge ne{std::min(u, v), std::max(u, v)};
+            if (!touched.insert(ne).second)
+                continue;
+            if (g.hasEdge(u, v))
+                removes.push_back(ne);
+            else
+                adds.push_back(ne);
+        }
+        CsrGraph g2 = g.withAddedEdges(adds);
+        if (!removes.empty())
+            g2 = g2.withRemovedEdges(removes);
+        isl = updateIslandization(g2, isl, adds, removes, cfg);
+        g = g2;
+        checkPostconditions(g, isl, cfg);
+    }
+}
+
 TEST(Incremental, MatchesFreshPruningQuality)
 {
     // Incremental repair shouldn't leave meaningfully less pruning

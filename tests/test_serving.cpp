@@ -11,7 +11,11 @@
  *  (c) interleaved updates never produce a torn read: concurrent
  *      readers + an update writer always see a complete epoch whose
  *      results match that epoch's whole-graph reference
- *      (ASan/UBSan-clean in the sanitizer CI job).
+ *      (ASan/UBSan-clean in the sanitizer CI job);
+ *  (d) the contracts above survive edge *deletions*: mixed
+ *      add/remove epochs stay bit-identical to the per-epoch
+ *      whole-graph reference, and deletion-heavy traces replay
+ *      deterministically across batch caps and thread counts.
  */
 
 #include <gtest/gtest.h>
@@ -248,6 +252,119 @@ TEST(ServingReplay, UpdatesTakeEffectAndMatchFinalReference)
         EXPECT_EQ(r.epoch, state->epoch);
         EXPECT_TRUE(bitEqualRow(r.logits, ref, r.node));
     }
+}
+
+TEST(ServingReplay, MixedAddRemoveEpochsStayBitIdenticalToReference)
+{
+    // Deletion-heavy epoch sequence: every epoch interleaves edge
+    // additions with deletions (sampled from the *current* epoch so
+    // they take effect). After every published epoch, batched L-hop
+    // inference must stay bit-identical to the whole-graph reference
+    // on that epoch's evolved graph — the serving engine's exactness
+    // contract survives shrinking receptive fields, dissolved
+    // islands, and demoted hubs.
+    Workload w = makeWorkload(600, 16, 12, 6, 2, 37);
+    auto hub = std::make_shared<GraphStateHub>(
+        makeGraphState(w.graph, LocatorConfig{}));
+    InferenceEngine engine(hub, w.features, w.weights, 1.1);
+    UpdateApplier applier(hub);
+
+    Rng rng(53);
+    size_t total_removed = 0, total_added = 0;
+    for (int epoch_no = 0; epoch_no < 12; ++epoch_no) {
+        auto cur = hub->acquire();
+        Request r;
+        r.kind = RequestKind::Update;
+        r.id = static_cast<uint64_t>(epoch_no);
+        for (int e = 0; e < 2; ++e) {
+            const auto u = static_cast<NodeId>(
+                rng.nextBounded(w.graph.numNodes()));
+            const auto v = static_cast<NodeId>(
+                rng.nextBounded(w.graph.numNodes()));
+            if (u != v)
+                r.addedEdges.emplace_back(u, v);
+        }
+        // Deletion-heavy: remove twice as many as we add, sampled
+        // uniformly from the current epoch's arcs.
+        for (int e = 0; e < 4 && cur->graph.numEdges() > 0; ++e) {
+            const EdgeId arc =
+                rng.nextBounded(cur->graph.numEdges());
+            r.removedEdges.emplace_back(cur->graph.arcSource(arc),
+                                        cur->graph.cols()[arc]);
+        }
+        UpdateResult res = applier.apply({&r, 1});
+        total_removed += res.edgesRemoved;
+        total_added += res.edgesApplied;
+
+        auto state = hub->acquire();
+        EXPECT_EQ(state->epoch, res.epoch);
+        DenseMatrix ref =
+            referenceForward(state->graph, w.asFeatures(), w.weights);
+        std::vector<NodeId> targets;
+        for (int i = 0; i < 6; ++i)
+            targets.push_back(static_cast<NodeId>(
+                rng.nextBounded(w.graph.numNodes())));
+        auto results = engine.runBatch(inferenceBatch(targets));
+        for (const InferenceResult &ir : results) {
+            EXPECT_EQ(ir.epoch, state->epoch);
+            EXPECT_TRUE(bitEqualRow(ir.logits, ref, ir.node))
+                << "epoch " << state->epoch << " node " << ir.node;
+        }
+    }
+    EXPECT_GT(total_removed, 0u);
+    EXPECT_GT(total_added, 0u);
+}
+
+TEST(ServingReplay, DeletionHeavyReplayDeterministicAcrossCapsAndThreads)
+{
+    // Replay determinism with removal events in the trace: identical
+    // per-request results and update epochs across batch caps 1/4/64,
+    // and bit-identical full replays (stats summary included) across
+    // IGCN_THREADS 1/8.
+    Workload w = makeWorkload(700, 16, 12, 6, 2, 41);
+    TraceConfig tc;
+    tc.numInference = 400;
+    tc.numUpdates = 60;
+    tc.removeFraction = 0.6;
+    tc.seed = 8;
+    const std::vector<Request> trace =
+        makeSyntheticTrace(w.graph, tc);
+
+    size_t removal_requests = 0;
+    for (const Request &r : trace)
+        if (!r.removedEdges.empty())
+            removal_requests++;
+    EXPECT_GT(removal_requests, 10u); // the trace is deletion-heavy
+
+    std::vector<ReplaySignature> sigs;
+    uint64_t edges_removed = 0;
+    for (uint32_t cap : {1u, 4u, 64u}) {
+        ServerConfig sc;
+        sc.scheduler.maxBatch = cap;
+        Server server(w.graph, w.features, w.weights, sc);
+        ReplayReport rep = server.runTrace(trace);
+        sigs.push_back(ReplaySignature::of(rep));
+        edges_removed = server.stats().edgesRemoved();
+        EXPECT_GT(edges_removed, 0u);
+    }
+    for (size_t i = 1; i < sigs.size(); ++i) {
+        EXPECT_EQ(sigs[0].byId, sigs[i].byId) << "cap run " << i;
+        EXPECT_EQ(sigs[0].updateEpochs, sigs[i].updateEpochs);
+    }
+
+    std::vector<ReplaySignature> tsigs;
+    std::vector<std::string> summaries;
+    for (int threads : {1, 8}) {
+        setGlobalThreads(threads);
+        Server server(w.graph, w.features, w.weights, ServerConfig{});
+        tsigs.push_back(ReplaySignature::of(server.runTrace(trace)));
+        summaries.push_back(server.stats().summary());
+    }
+    setGlobalThreads(0);
+    EXPECT_EQ(tsigs[0].byId, tsigs[1].byId);
+    EXPECT_EQ(tsigs[0].batchSizeById, tsigs[1].batchSizeById);
+    EXPECT_EQ(tsigs[0].updateEpochs, tsigs[1].updateEpochs);
+    EXPECT_EQ(summaries[0], summaries[1]);
 }
 
 // ------------------------------------------------------ criterion (c)
@@ -548,11 +665,12 @@ TEST(ServingTrace, DeterministicAndWellFormed)
     TraceConfig tc;
     tc.numInference = 500;
     tc.numUpdates = 50;
+    tc.removeFraction = 0.4;
     tc.seed = 12;
     auto a = makeSyntheticTrace(g, tc);
     auto b = makeSyntheticTrace(g, tc);
     ASSERT_EQ(a.size(), 550u);
-    uint64_t inf = 0, upd = 0, prev_arrival = 0;
+    uint64_t inf = 0, upd = 0, removals = 0, prev_arrival = 0;
     for (size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].id, i);
         EXPECT_GE(a[i].arrivalUs, prev_arrival);
@@ -566,14 +684,23 @@ TEST(ServingTrace, DeterministicAndWellFormed)
         } else {
             upd++;
             EXPECT_EQ(a[i].addedEdges, b[i].addedEdges);
+            EXPECT_EQ(a[i].removedEdges, b[i].removedEdges);
             for (const auto &[u, v] : a[i].addedEdges) {
                 EXPECT_LT(u, g.numNodes());
                 EXPECT_LT(v, g.numNodes());
             }
+            if (!a[i].removedEdges.empty())
+                removals++;
+            // Removal events reference real arcs of the initial
+            // graph, so early deletions always take effect.
+            for (const auto &[u, v] : a[i].removedEdges)
+                EXPECT_TRUE(g.hasEdge(u, v));
         }
     }
     EXPECT_EQ(inf, tc.numInference);
     EXPECT_EQ(upd, tc.numUpdates);
+    EXPECT_GT(removals, 5u);
+    EXPECT_LT(removals, upd);
 }
 
 } // namespace

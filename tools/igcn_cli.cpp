@@ -63,9 +63,9 @@ usage()
         "            [--net algo|hy]\n"
         "            [--platform igcn|awb|hygcn|cpu|gpu|sigma]\n"
         "  serve     --trace [--in FILE | --nodes N] [--requests R]\n"
-        "            [--updates U] [--batch-cap B] [--max-wait-us W]\n"
-        "            [--features F] [--hidden H] [--classes C]\n"
-        "            [--cmax N] [--seed S]\n");
+        "            [--updates U] [--remove-frac F] [--batch-cap B]\n"
+        "            [--max-wait-us W] [--features F] [--hidden H]\n"
+        "            [--classes C] [--cmax N] [--seed S]\n");
     return 2;
 }
 
@@ -279,6 +279,7 @@ cmdServe(const Args &args)
         static_cast<uint64_t>(args.getInt("requests", 10000));
     tc.numUpdates =
         static_cast<uint64_t>(args.getInt("updates", 1000));
+    tc.removeFraction = args.getDouble("remove-frac", 0.2);
     tc.seed = seed;
     std::vector<serve::Request> trace =
         serve::makeSyntheticTrace(g, tc);
@@ -292,13 +293,14 @@ cmdServe(const Args &args)
         args.getInt("cmax", sc.locator.maxIslandSize));
 
     std::printf("serve: %u nodes, %llu edges; trace %zu requests "
-                "(%llu inference + %llu updates), batch cap %u, "
-                "max wait %llu us\n",
+                "(%llu inference + %llu updates, %.0f%% deletions), "
+                "batch cap %u, max wait %llu us\n",
                 g.numNodes(),
                 static_cast<unsigned long long>(g.numEdges()),
                 trace.size(),
                 static_cast<unsigned long long>(tc.numInference),
                 static_cast<unsigned long long>(tc.numUpdates),
+                tc.removeFraction * 100.0,
                 sc.scheduler.maxBatch,
                 static_cast<unsigned long long>(
                     sc.scheduler.maxWaitUs));
