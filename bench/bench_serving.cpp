@@ -48,6 +48,13 @@ struct DatasetCase
     const char *name;
 };
 
+struct SloPoint
+{
+    uint32_t queueCap;
+    double qpsBudget; ///< per-tenant; 0 = unmetered
+    uint32_t staleness;
+};
+
 } // namespace
 
 int
@@ -183,6 +190,144 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     json.endArray(); // datasets
+
+    // --- SLO sweep: admission control on an overloaded trace ------
+    // A bursty multi-tenant trace whose arrival rate far exceeds the
+    // service rate, replayed through the admission-controlled EDF
+    // path over queue cap x per-tenant qps budget x staleness bound.
+    // CI gates on this section: shedding must engage (nonzero shed)
+    // while no admitted Strict-freshness request ever starts past its
+    // deadline (zero by construction of drop-expired).
+    {
+        DatasetGraph data =
+            buildDataset(Dataset::Cora, datasetScale(Dataset::Cora));
+        Rng rng(7);
+        Features x = makeFeatures(data.graph.numNodes(),
+                                  data.info.numFeatures,
+                                  data.info.featureDensity, rng);
+        ModelConfig mc =
+            modelConfig(Model::GCN, NetConfig::Algo, data.info);
+        std::vector<DenseMatrix> weights = makeWeights(mc, rng);
+
+        serve::TraceConfig tc;
+        tc.numInference = quick ? 2000 : 8000;
+        tc.numUpdates = tc.numInference / 10;
+        tc.meanGapUs = 4.0; // heavy overload vs the service model
+        tc.pattern = serve::ArrivalPattern::Burst;
+        tc.numTenants = 4;
+        tc.deadlineUs = 20000;
+        tc.strictFraction = 0.1;
+        tc.seed = 11;
+        std::vector<serve::Request> overload =
+            serve::makeSyntheticTrace(data.graph, tc);
+
+        const std::vector<SloPoint> slo_points = quick
+            ? std::vector<SloPoint>{{64, 0.0, 4}, {256, 20000.0, 0}}
+            : std::vector<SloPoint>{{64, 0.0, 0},      {64, 0.0, 4},
+                                    {256, 0.0, 4},     {1024, 0.0, 4},
+                                    {256, 20000.0, 0}, {256, 20000.0, 4},
+                                    {256, 50000.0, 4}};
+
+        std::printf("slo sweep: cora overload trace (%zu requests, "
+                    "burst, %u tenants, deadline %llu us)\n",
+                    overload.size(), tc.numTenants,
+                    static_cast<unsigned long long>(tc.deadlineUs));
+        std::printf("  %-9s %-10s %-9s | %8s %8s %8s %8s %9s | %8s "
+                    "%8s %6s\n",
+                    "queue-cap", "qps-budget", "staleness", "admit",
+                    "reject", "overload", "expired", "shedstale",
+                    "p99us", "maxdepth", "viol");
+
+        json.key("slo").beginObject();
+        json.key("trace_requests").value(
+            static_cast<uint64_t>(overload.size()));
+        json.key("tenants").value(static_cast<uint64_t>(tc.numTenants));
+        json.key("deadline_us").value(tc.deadlineUs);
+        json.key("strict_fraction").value(tc.strictFraction);
+        json.key("configs").beginArray();
+
+        for (const SloPoint &p : slo_points) {
+            serve::ServerConfig sc;
+            sc.scheduler.maxBatch = 32;
+            sc.slo.enabled = true;
+            sc.slo.queueCap = p.queueCap;
+            sc.slo.qpsBudget = p.qpsBudget;
+            sc.slo.stalenessBound = p.staleness;
+
+            serve::Server server(data.graph, x.dense, weights, sc);
+            serve::ReplayReport rep = server.runTrace(overload);
+            const serve::ServerStats &st = server.stats();
+            const serve::LatencySummary lat = st.inferenceLatency();
+
+            std::printf("  %-9u %-10.0f %-9u | %8llu %8llu %8llu "
+                        "%8llu %9llu | %8.0f %8llu %6llu\n",
+                        p.queueCap, p.qpsBudget, p.staleness,
+                        static_cast<unsigned long long>(
+                            st.admittedRequests()),
+                        static_cast<unsigned long long>(
+                            st.rejectedRequests()),
+                        static_cast<unsigned long long>(
+                            st.overloadedRequests()),
+                        static_cast<unsigned long long>(
+                            st.expiredRequests()),
+                        static_cast<unsigned long long>(
+                            st.shedStaleRequests()),
+                        lat.p99,
+                        static_cast<unsigned long long>(
+                            st.maxQueueDepth()),
+                        static_cast<unsigned long long>(
+                            st.strictDeadlineViolations()));
+
+            json.beginObject();
+            json.key("queue_cap").value(
+                static_cast<uint64_t>(p.queueCap));
+            json.key("qps_budget").value(p.qpsBudget);
+            json.key("staleness_bound").value(
+                static_cast<uint64_t>(p.staleness));
+            json.key("admitted").value(st.admittedRequests());
+            json.key("rejected").value(st.rejectedRequests());
+            json.key("overloaded").value(st.overloadedRequests());
+            json.key("expired").value(st.expiredRequests());
+            json.key("shed_stale").value(st.shedStaleRequests());
+            json.key("shed_rate").value(st.shedRate());
+            json.key("served").value(st.inferenceRequests());
+            json.key("rejections").value(
+                static_cast<uint64_t>(rep.rejections.size()));
+            json.key("latency_p99_us").value(lat.p99);
+            json.key("max_queue_depth").value(st.maxQueueDepth());
+            json.key("strict_deadline_violations").value(
+                st.strictDeadlineViolations());
+            json.key("stale_serves").value(st.staleServes());
+            json.key("tenants").beginArray();
+            for (const auto &[tenant, ts] : st.tenantStats()) {
+                json.beginObject();
+                json.key("tenant").value(
+                    static_cast<uint64_t>(tenant));
+                json.key("admitted").value(ts.admitted);
+                json.key("shed").value(ts.shed());
+                json.key("dropped").value(ts.dropped());
+                json.key("served").value(ts.served);
+                json.key("p99_us").value(
+                    server.stats().tenantLatency(tenant).p99);
+                json.endObject();
+            }
+            json.endArray(); // tenants
+            json.key("staleness_histogram").beginArray();
+            for (const auto &[behind, count] :
+                 st.stalenessHistogram()) {
+                json.beginObject();
+                json.key("epochs_behind").value(
+                    static_cast<uint64_t>(behind));
+                json.key("served").value(count);
+                json.endObject();
+            }
+            json.endArray(); // staleness_histogram
+            json.endObject();
+        }
+        json.endArray(); // slo configs
+        json.endObject(); // slo
+        std::printf("\n");
+    }
     json.endObject();
 
     if (!json.writeFile("BENCH_serving.json"))

@@ -165,6 +165,7 @@ InferenceEngine::runBatch(std::span<const Request> batch,
         InferenceResult res;
         res.id = batch[i].id;
         res.node = batch[i].node;
+        res.tenant = batch[i].tenant;
         res.epoch = state->epoch;
         res.arrivalUs = batch[i].arrivalUs;
         res.batchSize = static_cast<uint32_t>(batch.size());

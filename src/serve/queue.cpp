@@ -38,6 +38,17 @@ RequestQueue::size() const
     return items.size();
 }
 
+bool
+RequestQueue::tryPop(Request &out)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (items.empty())
+        return false;
+    out = std::move(items.front());
+    items.pop_front();
+    return true;
+}
+
 RequestQueue::Pop
 RequestQueue::popHead(Request &out)
 {
@@ -84,6 +95,76 @@ RequestQueue::popKindBefore(RequestKind kind, uint64_t deadline_us,
         cv.wait_for(lock,
                     std::chrono::microseconds(deadline_us - now));
     }
+}
+
+// ------------------------------------------------------------ EdfQueue
+
+EdfQueue::Key
+EdfQueue::keyOf(const Request &r, uint64_t)
+{
+    return Key{r.deadlineUs == 0 ? ~uint64_t{0} : r.deadlineUs,
+               static_cast<uint8_t>(r.priority), r.arrivalUs, r.id};
+}
+
+bool
+EdfQueue::eligible(const Entry &e, uint64_t applied_seq,
+                   uint32_t staleness_bound)
+{
+    const uint64_t k = e.req.freshness == Freshness::Strict
+        ? 0
+        : staleness_bound;
+    return e.requiredSeq <= applied_seq + k;
+}
+
+void
+EdfQueue::add(Request r, uint64_t required_seq)
+{
+    const Key key = keyOf(r, required_seq);
+    pool.emplace(key, Entry{std::move(r), required_seq});
+}
+
+uint64_t
+EdfQueue::earliestArrivalUs() const
+{
+    uint64_t earliest = ~uint64_t{0};
+    for (const auto &[key, e] : pool)
+        earliest = std::min(earliest, e.req.arrivalUs);
+    return earliest;
+}
+
+bool
+EdfQueue::popEligible(uint64_t applied_seq, uint32_t staleness_bound,
+                      Entry &out)
+{
+    for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (eligible(it->second, applied_seq, staleness_bound)) {
+            out = std::move(it->second);
+            pool.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<EdfQueue::Dropped>
+EdfQueue::dropExpired(uint64_t now_us, uint64_t applied_seq,
+                      uint32_t staleness_bound)
+{
+    std::vector<Dropped> dropped;
+    for (auto it = pool.begin(); it != pool.end();) {
+        const Request &r = it->second.req;
+        if (r.deadlineUs != 0 && r.deadlineUs < now_us) {
+            const ServeError why =
+                eligible(it->second, applied_seq, staleness_bound)
+                    ? ServeError::Expired
+                    : ServeError::ShedStale;
+            dropped.push_back({std::move(it->second), why});
+            it = pool.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
 }
 
 } // namespace igcn::serve

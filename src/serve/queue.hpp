@@ -24,7 +24,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "serve/request.hpp"
 
@@ -46,6 +49,9 @@ class RequestQueue
 
     /** Append a request (FIFO) and wake waiters. */
     void push(Request r);
+
+    /** Non-blocking pop of the head, whatever its kind. */
+    bool tryPop(Request &out);
 
     /** Mark end-of-stream; blocked pops return once drained. */
     void close();
@@ -86,6 +92,84 @@ class RequestQueue
     std::condition_variable cv;
     std::deque<Request> items;
     bool isClosed = false;
+};
+
+/**
+ * Earliest-deadline-first pool of admitted inference requests.
+ *
+ * Ordering key: (deadline, priority, arrival, id) — EDF first, with
+ * no-deadline requests (deadlineUs == 0) forming an arrival-ordered
+ * tail after every deadlined request, and Priority breaking deadline
+ * ties. The pool also carries each request's freshness requirement:
+ * `requiredSeq` is the number of update requests admitted before it,
+ * and the request is *eligible* once the applier has caught up to
+ * within its staleness budget (0 for Freshness::Strict, the
+ * configured bound for Bounded). Scheduling = pop eligible entries
+ * in EDF order; requests whose deadline passes while pooled are
+ * dropped and classified (Expired if they were eligible and simply
+ * waited too long, ShedStale if the freshness gate was the blocker).
+ *
+ * Single-threaded by design: the replay loop owns one, and the
+ * real-time scheduler thread owns one. Thread-safe hand-off happens
+ * upstream in RequestQueue.
+ */
+class EdfQueue
+{
+  public:
+    struct Entry
+    {
+        Request req;
+        /** Update requests admitted before this one. */
+        uint64_t requiredSeq = 0;
+    };
+
+    /** A dropped entry and why it was dropped. */
+    struct Dropped
+    {
+        Entry entry;
+        ServeError error = ServeError::Expired;
+    };
+
+    void add(Request r, uint64_t required_seq);
+
+    bool empty() const { return pool.empty(); }
+    size_t size() const { return pool.size(); }
+
+    /** Earliest arrival among pooled entries (pool must be
+     *  non-empty). */
+    uint64_t earliestArrivalUs() const;
+
+    /**
+     * Pop the EDF-first entry eligible at `applied_seq` updates
+     * applied, under staleness bound K (Strict entries use 0).
+     * False when no pooled entry is eligible.
+     */
+    bool popEligible(uint64_t applied_seq, uint32_t staleness_bound,
+                     Entry &out);
+
+    /**
+     * Remove every entry whose nonzero deadline is < now_us and
+     * classify it: Expired if it was eligible when dropped,
+     * ShedStale if its freshness gate was unsatisfied.
+     */
+    std::vector<Dropped> dropExpired(uint64_t now_us,
+                                     uint64_t applied_seq,
+                                     uint32_t staleness_bound);
+
+  private:
+    struct Key
+    {
+        uint64_t deadline; // 0 mapped to UINT64_MAX
+        uint8_t priority;
+        uint64_t arrival;
+        uint64_t id;
+        auto operator<=>(const Key &) const = default;
+    };
+    static Key keyOf(const Request &r, uint64_t required_seq);
+    static bool eligible(const Entry &e, uint64_t applied_seq,
+                         uint32_t staleness_bound);
+
+    std::map<Key, Entry> pool;
 };
 
 } // namespace igcn::serve

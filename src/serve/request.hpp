@@ -25,6 +25,71 @@ namespace igcn::serve {
 /** What a request asks the server to do. */
 enum class RequestKind : uint8_t { Inference, Update };
 
+/**
+ * Scheduling priority. EDF is the primary order; priority breaks
+ * deadline ties (and orders the no-deadline tail), so an Interactive
+ * request is never scheduled behind a Batch request with the same
+ * deadline.
+ */
+enum class Priority : uint8_t { Interactive = 0, Normal = 1, Batch = 2 };
+
+/**
+ * Freshness demanded by an inference request. Bounded requests may be
+ * served from an epoch at most `SloConfig::stalenessBound` update
+ * requests behind the freshest state admitted before them; Strict
+ * requests treat every earlier-admitted update as a hard sequence
+ * point (the pre-SLO semantics).
+ */
+enum class Freshness : uint8_t { Bounded = 0, Strict = 1 };
+
+/**
+ * Why the server refused to serve a request. `None` means admitted
+ * and served.
+ *
+ *  - Rejected:   tenant token bucket empty (over qps budget).
+ *  - Overloaded: bounded queue at capacity; never enqueued.
+ *  - Expired:    admitted, but its deadline passed while it waited;
+ *                dropped instead of served late.
+ *  - ShedStale:  admitted, but its deadline passed while it was
+ *                *ineligible* — blocked on updates it was not allowed
+ *                to skip (Strict, or bounded-staleness budget spent).
+ */
+enum class ServeError : uint8_t
+{
+    None = 0,
+    Rejected,
+    Overloaded,
+    Expired,
+    ShedStale,
+};
+
+/** Human-readable name of a ServeError ("admitted" for None). */
+const char *serveErrorName(ServeError e);
+
+/**
+ * Typed outcome of Server::submitInference / submitUpdate — replaces
+ * the old "uint64_t id or exception" surface. `ok()` means the
+ * request was admitted; otherwise `error` says why it was refused
+ * (the request was never enqueued).
+ */
+struct ServeResult
+{
+    uint64_t id = 0;
+    ServeError error = ServeError::None;
+    bool ok() const { return error == ServeError::None; }
+};
+
+/** One refused request, recorded in the replay report. */
+struct Rejection
+{
+    uint64_t id = 0;
+    uint32_t tenant = 0;
+    RequestKind kind = RequestKind::Inference;
+    ServeError error = ServeError::Rejected;
+    /** When the rejection happened (admission or drop time). */
+    uint64_t atUs = 0;
+};
+
 /** One queued request (tagged union over the two kinds). */
 struct Request
 {
@@ -33,6 +98,16 @@ struct Request
     uint64_t id = 0;
     /** Arrival time in server microseconds. */
     uint64_t arrivalUs = 0;
+    /** Tenant the request is billed to (token-bucket admission). */
+    uint32_t tenant = 0;
+    /** EDF tie-break; see Priority. */
+    Priority priority = Priority::Normal;
+    /** Absolute deadline in server microseconds; 0 = none. A request
+     *  not dispatched by its deadline is dropped (Expired/ShedStale),
+     *  never served late. */
+    uint64_t deadlineUs = 0;
+    /** Staleness contract (Inference only); see Freshness. */
+    Freshness freshness = Freshness::Bounded;
     /** Target node (Inference only). */
     NodeId node = 0;
     /** Undirected edges to add (Update only). */
@@ -51,8 +126,18 @@ struct InferenceResult
 {
     uint64_t id = 0;
     NodeId node = 0;
+    /** Tenant of the originating request. */
+    uint32_t tenant = 0;
     /** Graph epoch the result was computed against. */
     uint64_t epoch = 0;
+    /** How many admitted-before-it update requests were still
+     *  unapplied when it was served (0 = fresh; bounded-staleness
+     *  reads allow up to SloConfig::stalenessBound). */
+    uint32_t epochsBehind = 0;
+    /** Absolute deadline it was admitted under (0 = none). */
+    uint64_t deadlineUs = 0;
+    /** Freshness contract it was served under. */
+    Freshness freshness = Freshness::Bounded;
     /** Output row for the node (numClasses floats). */
     std::vector<float> logits;
     uint64_t arrivalUs = 0;

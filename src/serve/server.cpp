@@ -104,6 +104,15 @@ Server::runTrace(std::vector<Request> trace)
                      [](const Request &a, const Request &b) {
                          return a.arrivalUs < b.arrivalUs;
                      });
+    report = ReplayReport{};
+    statsAcc = ServerStats{}; // each run reports its own telemetry
+    return cfg.slo.enabled ? runTraceSlo(std::move(trace))
+                           : runTraceFcfs(std::move(trace));
+}
+
+ReplayReport
+Server::runTraceFcfs(std::vector<Request> trace)
+{
     RequestQueue queue;
     for (Request &r : trace)
         queue.push(std::move(r));
@@ -112,11 +121,153 @@ Server::runTrace(std::vector<Request> trace)
     Scheduler scheduler(queue, cfg.scheduler, /*real_time=*/false);
     uint64_t busy = 0;
     MicroBatch batch;
-    report = ReplayReport{};
-    statsAcc = ServerStats{}; // each run reports its own telemetry
     while (scheduler.next(busy, batch))
         processBatch(batch, /*real_time=*/false, busy);
     return std::move(report);
+}
+
+void
+Server::handleSloDecision(SloScheduler::Decision &d, bool real_time,
+                          uint64_t &busy_until_us)
+{
+    for (EdfQueue::Dropped &drop : d.dropped) {
+        const Rejection rej{drop.entry.req.id, drop.entry.req.tenant,
+                            drop.entry.req.kind, drop.error,
+                            d.batch.formedAtUs};
+        statsAcc.recordRejection(rej);
+        report.rejections.push_back(rej);
+    }
+    if (real_time)
+        waitingCount.fetch_sub(d.dropped.size() +
+                               d.batch.requests.size());
+    if (d.kind == SloScheduler::Decision::Kind::Drops)
+        return;
+
+    if (d.kind == SloScheduler::Decision::Kind::Inference) {
+        BatchExecInfo info;
+        std::vector<InferenceResult> results =
+            engine.runBatch(d.batch.requests, &info);
+        const auto state = hub->acquire();
+        const uint64_t done = real_time
+            ? nowUs()
+            : d.batch.formedAtUs +
+                cfg.service.inferenceCostUs(info,
+                                            state->graph.numNodes(),
+                                            state->graph.numEdges());
+        for (size_t i = 0; i < results.size(); ++i) {
+            InferenceResult &r = results[i];
+            r.startUs = d.batch.formedAtUs;
+            r.doneUs = done;
+            r.epochsBehind = d.epochsBehind[i];
+            r.deadlineUs = d.batch.requests[i].deadlineUs;
+            r.freshness = d.batch.requests[i].freshness;
+            statsAcc.recordInference(r);
+            report.inference.push_back(std::move(r));
+        }
+        statsAcc.recordInferenceBatch(info);
+        busy_until_us = done;
+    } else {
+        UpdateResult res = applier.apply(d.batch.requests);
+        res.startUs = d.batch.formedAtUs;
+        res.doneUs = real_time
+            ? nowUs()
+            : d.batch.formedAtUs + cfg.service.updateCostUs(res);
+        statsAcc.recordUpdate(res);
+        busy_until_us = res.doneUs;
+        report.updates.push_back(std::move(res));
+    }
+}
+
+ReplayReport
+Server::runTraceSlo(std::vector<Request> trace)
+{
+    // Fault injection first: trace-shape faults (update delays,
+    // burst arrivals) are a deterministic rewrite of the trace.
+    cfg.faults.applyToTrace(trace);
+
+    AdmissionController admission(cfg.slo);
+    SloScheduler sched(cfg.scheduler, cfg.slo, &cfg.faults);
+    uint64_t busy = 0;
+    size_t i = 0;
+
+    // Admission happens at each request's arrival timestamp, with
+    // the queue depth the request actually observes: all dispatches
+    // that start no later than the arrival have already left the
+    // pools (the loop below interleaves admissions and dispatches in
+    // virtual-time order).
+    const auto admitOne = [&] {
+        Request r = std::move(trace[i]);
+        i++;
+        const ServeError e = admission.tryAdmit(r, sched.depth());
+        if (e != ServeError::None) {
+            const Rejection rej{r.id, r.tenant, r.kind, e,
+                                r.arrivalUs};
+            statsAcc.recordRejection(rej);
+            report.rejections.push_back(rej);
+            return;
+        }
+        statsAcc.recordAdmission(r.tenant);
+        sched.admit(std::move(r));
+        statsAcc.recordQueueDepth(sched.depth());
+    };
+
+    while (true) {
+        if (sched.empty()) {
+            if (i == trace.size())
+                break;
+            admitOne();
+            continue;
+        }
+        const uint64_t t = sched.nextDispatchTimeUs(busy);
+        if (i < trace.size() && trace[i].arrivalUs <= t) {
+            admitOne();
+            continue;
+        }
+        SloScheduler::Decision d;
+        sched.next(busy, d);
+        handleSloDecision(d, /*real_time=*/false, busy);
+    }
+    return std::move(report);
+}
+
+void
+Server::realTimeLoopFcfs()
+{
+    Scheduler scheduler(liveQueue, cfg.scheduler,
+                        /*real_time=*/true,
+                        [this] { return nowUs(); });
+    MicroBatch batch;
+    uint64_t busy = 0;
+    while (scheduler.next(nowUs(), batch))
+        processBatch(batch, /*real_time=*/true, busy);
+}
+
+void
+Server::realTimeLoopSlo()
+{
+    // Continuous batching against the live clock: admitted requests
+    // drain from the arrival queue into the EDF pools, and every
+    // engine-free moment serves whatever is eligible. Admission
+    // already happened on the submitter threads.
+    SloScheduler sched(cfg.scheduler, cfg.slo, &cfg.faults);
+    uint64_t busy = 0;
+    Request r;
+    for (;;) {
+        if (sched.empty()) {
+            if (liveQueue.popHead(r) == RequestQueue::Pop::Closed)
+                break;
+            sched.admit(std::move(r));
+        }
+        while (liveQueue.tryPop(r))
+            sched.admit(std::move(r));
+        SloScheduler::Decision d;
+        if (sched.next(nowUs(), d))
+            handleSloDecision(d, /*real_time=*/true, busy);
+    }
+    // Queue closed: drain what is still pooled.
+    SloScheduler::Decision d;
+    while (sched.next(nowUs(), d))
+        handleSloDecision(d, /*real_time=*/true, busy);
 }
 
 void
@@ -128,47 +279,75 @@ Server::start()
     clockOrigin = std::chrono::steady_clock::now();
     report = ReplayReport{};
     statsAcc = ServerStats{};
+    liveAdmission = AdmissionController(cfg.slo);
+    waitingCount = 0;
+    liveMaxDepth = 0;
+    liveAdmittedTenants.clear();
+    liveRejections.clear();
     schedulerThread = std::thread([this] {
-        Scheduler scheduler(liveQueue, cfg.scheduler,
-                            /*real_time=*/true,
-                            [this] { return nowUs(); });
-        MicroBatch batch;
-        uint64_t busy = 0;
-        while (scheduler.next(nowUs(), batch))
-            processBatch(batch, /*real_time=*/true, busy);
+        if (cfg.slo.enabled)
+            realTimeLoopSlo();
+        else
+            realTimeLoopFcfs();
     });
 }
 
-uint64_t
-Server::submitInference(NodeId node)
+ServeResult
+Server::submitRequest(Request r)
+{
+    std::lock_guard<std::mutex> lock(submitMutex);
+    r.id = nextId.fetch_add(1);
+    r.arrivalUs = nowUs();
+    if (r.deadlineUs != 0)
+        r.deadlineUs += r.arrivalUs; // relative -> absolute
+    ServeResult out;
+    out.id = r.id;
+    if (cfg.slo.enabled) {
+        const size_t depth = waitingCount.load();
+        out.error = liveAdmission.tryAdmit(r, depth);
+        if (out.error != ServeError::None) {
+            liveRejections.push_back({r.id, r.tenant, r.kind,
+                                      out.error, r.arrivalUs});
+            return out;
+        }
+        liveAdmittedTenants.push_back(r.tenant);
+        liveMaxDepth = std::max(liveMaxDepth,
+                                static_cast<uint64_t>(depth + 1));
+        waitingCount.fetch_add(1);
+    }
+    liveQueue.push(std::move(r));
+    return out;
+}
+
+ServeResult
+Server::submitInference(NodeId node, const SubmitOptions &opts)
 {
     if (!running)
         throw std::logic_error("submitInference: server not running");
     Request r;
     r.kind = RequestKind::Inference;
-    r.id = nextId.fetch_add(1);
-    r.arrivalUs = nowUs();
     r.node = node;
-    const uint64_t id = r.id;
-    liveQueue.push(std::move(r));
-    return id;
+    r.tenant = opts.tenant;
+    r.priority = opts.priority;
+    r.deadlineUs = opts.deadlineUs;
+    r.freshness = opts.freshness;
+    return submitRequest(std::move(r));
 }
 
-uint64_t
-Server::submitUpdate(std::vector<Edge> added,
-                     std::vector<Edge> removed)
+ServeResult
+Server::submitUpdate(std::vector<Edge> added, std::vector<Edge> removed,
+                     const SubmitOptions &opts)
 {
     if (!running)
         throw std::logic_error("submitUpdate: server not running");
     Request r;
     r.kind = RequestKind::Update;
-    r.id = nextId.fetch_add(1);
-    r.arrivalUs = nowUs();
     r.addedEdges = std::move(added);
     r.removedEdges = std::move(removed);
-    const uint64_t id = r.id;
-    liveQueue.push(std::move(r));
-    return id;
+    r.tenant = opts.tenant;
+    r.priority = opts.priority;
+    r.deadlineUs = opts.deadlineUs;
+    return submitRequest(std::move(r));
 }
 
 ReplayReport
@@ -179,6 +358,15 @@ Server::stop()
     liveQueue.close();
     schedulerThread.join();
     running = false;
+    // Merge submit-side admission accounting now that the scheduler
+    // thread is done with statsAcc / report.
+    for (uint32_t tenant : liveAdmittedTenants)
+        statsAcc.recordAdmission(tenant);
+    for (const Rejection &rej : liveRejections) {
+        statsAcc.recordRejection(rej);
+        report.rejections.push_back(rej);
+    }
+    statsAcc.recordQueueDepth(liveMaxDepth);
     return std::move(report);
 }
 

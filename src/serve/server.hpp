@@ -68,6 +68,11 @@ struct ServerConfig
     ServiceModel service;
     /** Receptive-field fraction above which the engine goes whole-graph. */
     double wholeGraphFraction = 0.5;
+    /** SLO layer: admission control, EDF + drop-expired, bounded
+     *  staleness. Disabled by default (legacy FCFS serving). */
+    SloConfig slo;
+    /** Deterministic fault-injection plan (replay mode). */
+    FaultPlan faults;
 };
 
 /** Everything a run produced, in dispatch order. */
@@ -75,6 +80,19 @@ struct ReplayReport
 {
     std::vector<InferenceResult> inference;
     std::vector<UpdateResult> updates;
+    /** Refused requests (admission rejections and deadline drops),
+     *  in decision order. Empty when the SLO layer is disabled. */
+    std::vector<Rejection> rejections;
+};
+
+/** Per-request SLO parameters of a live submission. */
+struct SubmitOptions
+{
+    uint32_t tenant = 0;
+    Priority priority = Priority::Normal;
+    /** Relative deadline in microseconds from arrival; 0 = none. */
+    uint64_t deadlineUs = 0;
+    Freshness freshness = Freshness::Bounded;
 };
 
 /** See file comment. */
@@ -93,12 +111,20 @@ class Server
 
     /** Start the real-time scheduler thread. */
     void start();
-    /** Submit a live inference request; returns its id. */
-    uint64_t submitInference(NodeId node);
+    /**
+     * Submit a live inference request. Typed result: `ok()` means
+     * admitted (the id will appear in the report); otherwise the
+     * request was refused at the admission boundary (Rejected /
+     * Overloaded) and never enqueued. Throws std::logic_error only
+     * for API misuse (server not running).
+     */
+    ServeResult submitInference(NodeId node,
+                                const SubmitOptions &opts = {});
     /** Submit a live edge-mutation request (additions and/or
-     *  deletions); returns its id. */
-    uint64_t submitUpdate(std::vector<Edge> added,
-                          std::vector<Edge> removed = {});
+     *  deletions); same typed-result contract as submitInference. */
+    ServeResult submitUpdate(std::vector<Edge> added,
+                             std::vector<Edge> removed = {},
+                             const SubmitOptions &opts = {});
     /** Close the queue, drain it, join the thread, return results. */
     ReplayReport stop();
 
@@ -109,6 +135,13 @@ class Server
   private:
     void processBatch(const MicroBatch &batch, bool real_time,
                       uint64_t &busy_until_us);
+    ReplayReport runTraceFcfs(std::vector<Request> trace);
+    ReplayReport runTraceSlo(std::vector<Request> trace);
+    void handleSloDecision(SloScheduler::Decision &d, bool real_time,
+                           uint64_t &busy_until_us);
+    void realTimeLoopFcfs();
+    void realTimeLoopSlo();
+    ServeResult submitRequest(Request r);
     uint64_t nowUs() const;
 
     ServerConfig cfg;
@@ -124,6 +157,18 @@ class Server
     std::atomic<uint64_t> nextId{0};
     std::chrono::steady_clock::time_point clockOrigin;
     bool running = false;
+
+    // Real-time admission state. Admission decisions happen on
+    // submitter threads while the scheduler thread owns statsAcc /
+    // report, so submit-side decisions are buffered under
+    // submitMutex and merged into the stats after the scheduler
+    // thread joins in stop().
+    std::mutex submitMutex;
+    AdmissionController liveAdmission{SloConfig{}};
+    std::atomic<size_t> waitingCount{0};
+    uint64_t liveMaxDepth = 0;
+    std::vector<uint32_t> liveAdmittedTenants;
+    std::vector<Rejection> liveRejections;
 };
 
 } // namespace igcn::serve

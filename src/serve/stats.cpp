@@ -40,6 +40,55 @@ ServerStats::recordInference(const InferenceResult &r)
     infLatUs.push_back(r.doneUs - r.arrivalUs);
     firstArrivalUs = std::min(firstArrivalUs, r.arrivalUs);
     lastDoneUs = std::max(lastDoneUs, r.doneUs);
+
+    TenantStats &t = tenants[r.tenant];
+    t.served++;
+    t.latUs.push_back(r.doneUs - r.arrivalUs);
+    staleHist[r.epochsBehind]++;
+    if (r.epochsBehind > 0)
+        numStaleServes++;
+    if (r.freshness == Freshness::Strict && r.deadlineUs != 0 &&
+        r.startUs > r.deadlineUs)
+        numStrictViolations++;
+}
+
+void
+ServerStats::recordAdmission(uint32_t tenant)
+{
+    numAdmitted++;
+    tenants[tenant].admitted++;
+}
+
+void
+ServerStats::recordRejection(const Rejection &r)
+{
+    TenantStats &t = tenants[r.tenant];
+    switch (r.error) {
+    case ServeError::Rejected:
+        numRejected++;
+        t.rejected++;
+        break;
+    case ServeError::Overloaded:
+        numOverloaded++;
+        t.overloaded++;
+        break;
+    case ServeError::Expired:
+        numExpired++;
+        t.expired++;
+        break;
+    case ServeError::ShedStale:
+        numShedStale++;
+        t.shedStale++;
+        break;
+    case ServeError::None:
+        break;
+    }
+}
+
+void
+ServerStats::recordQueueDepth(size_t depth)
+{
+    maxDepth = std::max(maxDepth, static_cast<uint64_t>(depth));
 }
 
 void
@@ -87,6 +136,26 @@ LatencySummary
 ServerStats::updateLatency() const
 {
     return summarize(updLatUs);
+}
+
+LatencySummary
+ServerStats::tenantLatency(uint32_t tenant) const
+{
+    auto it = tenants.find(tenant);
+    if (it == tenants.end())
+        return LatencySummary{};
+    return summarize(it->second.latUs);
+}
+
+double
+ServerStats::shedRate() const
+{
+    const uint64_t refused =
+        numRejected + numOverloaded + numExpired + numShedStale;
+    const uint64_t total = numAdmitted + numRejected + numOverloaded;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(refused) / static_cast<double>(total);
 }
 
 double
@@ -145,7 +214,53 @@ ServerStats::summary() const
         static_cast<unsigned long long>(numEpochs), upd.p50, upd.p99,
         static_cast<unsigned long long>(numInterleaves),
         meanSubgraphNodes());
-    return buf;
+    std::string out = buf;
+    if (numAdmitted + numRejected + numOverloaded > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "admission: %llu admitted, %llu rejected (budget), "
+            "%llu overloaded (queue), %llu expired, %llu shed-stale "
+            "(shed rate %.1f%%)\n"
+            "staleness: %llu stale serves, max queue depth %llu, "
+            "strict deadline violations %llu\n",
+            static_cast<unsigned long long>(numAdmitted),
+            static_cast<unsigned long long>(numRejected),
+            static_cast<unsigned long long>(numOverloaded),
+            static_cast<unsigned long long>(numExpired),
+            static_cast<unsigned long long>(numShedStale),
+            100.0 * shedRate(),
+            static_cast<unsigned long long>(numStaleServes),
+            static_cast<unsigned long long>(maxDepth),
+            static_cast<unsigned long long>(numStrictViolations));
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+ServerStats::rejectionTable() const
+{
+    if (tenants.empty())
+        return "";
+    std::string out =
+        "tenant   admitted rejected overload  expired shedstale "
+        "  served    p99us\n";
+    char buf[256];
+    for (const auto &[tenant, t] : tenants) {
+        const LatencySummary lat = summarize(t.latUs);
+        std::snprintf(buf, sizeof(buf),
+                      "%-8u %8llu %8llu %8llu %8llu %9llu %8llu %8.0f\n",
+                      tenant,
+                      static_cast<unsigned long long>(t.admitted),
+                      static_cast<unsigned long long>(t.rejected),
+                      static_cast<unsigned long long>(t.overloaded),
+                      static_cast<unsigned long long>(t.expired),
+                      static_cast<unsigned long long>(t.shedStale),
+                      static_cast<unsigned long long>(t.served),
+                      lat.p99);
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace igcn::serve

@@ -32,6 +32,22 @@ struct LatencySummary
     uint64_t maxUs = 0;
 };
 
+/** Per-tenant admission/shedding/latency accounting. */
+struct TenantStats
+{
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;   ///< token bucket empty (over budget)
+    uint64_t overloaded = 0; ///< queue at capacity
+    uint64_t expired = 0;    ///< dropped: deadline passed waiting
+    uint64_t shedStale = 0;  ///< dropped: blocked on freshness
+    uint64_t served = 0;
+    /** Served latencies, for per-tenant percentiles. */
+    std::vector<uint64_t> latUs;
+
+    uint64_t shed() const { return rejected + overloaded; }
+    uint64_t dropped() const { return expired + shedStale; }
+};
+
 /** Accumulates one serving run's telemetry. */
 class ServerStats
 {
@@ -39,9 +55,46 @@ class ServerStats
     void recordInference(const InferenceResult &r);
     void recordInferenceBatch(const BatchExecInfo &info);
     void recordUpdate(const UpdateResult &r);
+    /** Record an admitted request (SLO path). */
+    void recordAdmission(uint32_t tenant);
+    /** Record a refused request (admission or drop). */
+    void recordRejection(const Rejection &r);
+    /** Track the waiting-queue depth after an admission. */
+    void recordQueueDepth(size_t depth);
 
     LatencySummary inferenceLatency() const;
     LatencySummary updateLatency() const;
+    /** Served-latency summary of one tenant. */
+    LatencySummary tenantLatency(uint32_t tenant) const;
+
+    const std::map<uint32_t, TenantStats> &tenantStats() const
+    {
+        return tenants;
+    }
+    /** epochs-behind at serve time -> served request count. */
+    const std::map<uint32_t, uint64_t> &stalenessHistogram() const
+    {
+        return staleHist;
+    }
+
+    uint64_t admittedRequests() const { return numAdmitted; }
+    uint64_t shedRequests() const { return numRejected + numOverloaded; }
+    uint64_t rejectedRequests() const { return numRejected; }
+    uint64_t overloadedRequests() const { return numOverloaded; }
+    uint64_t expiredRequests() const { return numExpired; }
+    uint64_t shedStaleRequests() const { return numShedStale; }
+    /** Shed + dropped over all submissions seen by admission. */
+    double shedRate() const;
+    uint64_t maxQueueDepth() const { return maxDepth; }
+    /** Served Strict-freshness requests that started past their
+     *  deadline — 0 by construction of drop-expired (CI gates on
+     *  it). */
+    uint64_t strictDeadlineViolations() const
+    {
+        return numStrictViolations;
+    }
+    /** Served requests observing a non-fresh epoch. */
+    uint64_t staleServes() const { return numStaleServes; }
 
     /** batch size -> number of inference batches of that size. */
     const std::map<uint32_t, uint64_t> &batchSizeHistogram() const
@@ -68,6 +121,10 @@ class ServerStats
     /** Multi-line human-readable summary (CLI / bench output). */
     std::string summary() const;
 
+    /** Per-tenant rejection summary table (CLI output); empty string
+     *  when no admission decisions were recorded. */
+    std::string rejectionTable() const;
+
   private:
     std::vector<uint64_t> infLatUs;
     std::vector<uint64_t> updLatUs;
@@ -85,6 +142,18 @@ class ServerStats
     uint64_t firstArrivalUs = ~uint64_t{0};
     uint64_t lastDoneUs = 0;
     int lastKind = -1; // -1 none, else RequestKind cast
+
+    // SLO accounting.
+    std::map<uint32_t, TenantStats> tenants;
+    std::map<uint32_t, uint64_t> staleHist;
+    uint64_t numAdmitted = 0;
+    uint64_t numRejected = 0;
+    uint64_t numOverloaded = 0;
+    uint64_t numExpired = 0;
+    uint64_t numShedStale = 0;
+    uint64_t numStrictViolations = 0;
+    uint64_t numStaleServes = 0;
+    uint64_t maxDepth = 0;
 };
 
 } // namespace igcn::serve

@@ -17,8 +17,9 @@ makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
         throw std::invalid_argument("makeSyntheticTrace: empty graph");
     Rng rng(cfg.seed);
 
-    // Hot set: the top-degree nodes, ties broken by id so the set is
-    // deterministic.
+    // Degree-ranked node list (ties broken by id, deterministic):
+    // the first hot_count entries form the legacy hot set; the full
+    // ranking is the support of the Zipfian draw.
     std::vector<NodeId> by_degree(n);
     std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
     std::sort(by_degree.begin(), by_degree.end(),
@@ -29,7 +30,38 @@ makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
               });
     const size_t hot_count = std::max<size_t>(
         1, static_cast<size_t>(cfg.hotSetFraction * n));
-    by_degree.resize(hot_count);
+
+    // Arrival-rate modulation: scales the (single) exponential gap
+    // draw, so the default Poisson path is bit-identical to the
+    // pre-pattern generator.
+    const auto gap_scale = [&cfg](uint64_t t) -> double {
+        switch (cfg.pattern) {
+        case ArrivalPattern::Poisson:
+            return 1.0;
+        case ArrivalPattern::Burst: {
+            const uint64_t period = std::max<uint64_t>(
+                1, cfg.patternPeriodUs);
+            const double phase =
+                static_cast<double>(t % period) /
+                static_cast<double>(period);
+            return phase < cfg.burstDutyCycle
+                ? 1.0 / std::max(1.0, cfg.burstRateMultiplier)
+                : 1.0;
+        }
+        case ArrivalPattern::Diurnal: {
+            const uint64_t period = std::max<uint64_t>(
+                1, cfg.patternPeriodUs);
+            const double phase =
+                static_cast<double>(t % period) /
+                static_cast<double>(period);
+            const double rate =
+                1.0 + 0.8 * std::sin(2.0 * 3.14159265358979323846 *
+                                     phase);
+            return 1.0 / std::max(0.05, rate);
+        }
+        }
+        return 1.0;
+    };
 
     std::vector<Request> trace;
     trace.reserve(cfg.numInference + cfg.numUpdates);
@@ -39,10 +71,16 @@ makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
     uint64_t id = 0;
     while (remaining_inf + remaining_upd > 0) {
         now_us += static_cast<uint64_t>(
-            -cfg.meanGapUs * std::log(1.0 - rng.nextDouble()));
+            -cfg.meanGapUs * gap_scale(now_us) *
+            std::log(1.0 - rng.nextDouble()));
         Request r;
         r.id = id++;
         r.arrivalUs = now_us;
+        r.tenant = cfg.numTenants > 1
+            ? static_cast<uint32_t>(r.id % cfg.numTenants)
+            : 0;
+        if (cfg.deadlineUs > 0)
+            r.deadlineUs = now_us + cfg.deadlineUs;
         const bool is_update =
             rng.nextBounded(remaining_inf + remaining_upd) <
             remaining_upd;
@@ -77,9 +115,21 @@ makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
             remaining_upd--;
         } else {
             r.kind = RequestKind::Inference;
-            r.node = rng.nextBool(cfg.hotFraction)
-                ? by_degree[rng.nextBounded(by_degree.size())]
-                : static_cast<NodeId>(rng.nextBounded(n));
+            if (cfg.zipfAlpha > 1.0) {
+                // Zipfian by degree rank over the whole node set.
+                const uint64_t rank =
+                    rng.nextPowerLaw(1, n, cfg.zipfAlpha);
+                r.node = by_degree[static_cast<size_t>(rank - 1)];
+            } else {
+                r.node = rng.nextBool(cfg.hotFraction)
+                    ? by_degree[rng.nextBounded(hot_count)]
+                    : static_cast<NodeId>(rng.nextBounded(n));
+            }
+            // Guarded draw: strictFraction == 0 consumes no
+            // randomness, keeping default traces bit-identical.
+            if (cfg.strictFraction > 0.0 &&
+                rng.nextBool(cfg.strictFraction))
+                r.freshness = Freshness::Strict;
             remaining_inf--;
         }
         trace.push_back(std::move(r));

@@ -14,6 +14,22 @@
 
 namespace igcn::serve {
 
+/**
+ * Arrival process shapes. All three consume exactly one RNG draw per
+ * request (the exponential gap), so Poisson — the default — is
+ * bit-identical to the pre-pattern generator.
+ *
+ *  - Poisson: constant-rate exponential gaps.
+ *  - Burst:   on/off square wave over `patternPeriodUs` — inside the
+ *             burst window (the first `burstDutyCycle` fraction of
+ *             each period) the arrival rate is multiplied by
+ *             `burstRateMultiplier`; outside it runs at the base
+ *             rate. An update/query storm every period.
+ *  - Diurnal: the rate follows 1 + 0.8*sin(2*pi*t/period) — a smooth
+ *             day/night load curve compressed to the period.
+ */
+enum class ArrivalPattern : uint8_t { Poisson, Burst, Diurnal };
+
 /** Parameters of the synthetic trace generator. */
 struct TraceConfig
 {
@@ -39,6 +55,31 @@ struct TraceConfig
      * trace stream bit-for-bit.
      */
     double removeFraction = 0.0;
+    /** Arrival process; Poisson reproduces pre-pattern traces
+     *  bit-for-bit. */
+    ArrivalPattern pattern = ArrivalPattern::Poisson;
+    /** Burst/Diurnal period in virtual microseconds. */
+    uint64_t patternPeriodUs = 20000;
+    /** Burst only: fraction of each period that is the burst. */
+    double burstDutyCycle = 0.2;
+    /** Burst only: arrival-rate multiplier inside the burst. */
+    double burstRateMultiplier = 8.0;
+    /**
+     * Zipfian target skew: when > 1, inference targets are drawn by
+     * degree rank with P(rank) ~ rank^-zipfAlpha over the whole node
+     * set (the millions-of-users popularity curve), replacing the
+     * hotFraction/hotSetFraction two-tier draw. 0 (default) keeps
+     * the legacy hot-set draw bit-for-bit.
+     */
+    double zipfAlpha = 0.0;
+    /** Tenants; requests are assigned round-robin by id (no RNG). */
+    uint32_t numTenants = 1;
+    /** Relative deadline stamped on every inference request
+     *  (absolute = arrival + deadlineUs); 0 = none. */
+    uint64_t deadlineUs = 0;
+    /** Fraction of inference requests demanding Freshness::Strict
+     *  (guarded draw: 0.0 consumes no randomness). */
+    double strictFraction = 0.0;
     uint64_t seed = 1;
 };
 

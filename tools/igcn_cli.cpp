@@ -65,7 +65,13 @@ usage()
         "  serve     --trace [--in FILE | --nodes N] [--requests R]\n"
         "            [--updates U] [--remove-frac F] [--batch-cap B]\n"
         "            [--max-wait-us W] [--features F] [--hidden H]\n"
-        "            [--classes C] [--cmax N] [--seed S]\n");
+        "            [--classes C] [--cmax N] [--seed S]\n"
+        "            [--pattern poisson|burst|diurnal]\n"
+        "            [--zipf-alpha A] [--tenants T]\n"
+        "            SLO mode (enables admission control + EDF):\n"
+        "            [--qps-budget Q] [--queue-cap N]\n"
+        "            [--staleness K] [--deadline-us D]\n"
+        "            [--strict-frac F]\n");
     return 2;
 }
 
@@ -281,6 +287,19 @@ cmdServe(const Args &args)
         static_cast<uint64_t>(args.getInt("updates", 1000));
     tc.removeFraction = args.getDouble("remove-frac", 0.2);
     tc.seed = seed;
+    const std::string pattern = args.get("pattern", "poisson");
+    if (pattern == "burst")
+        tc.pattern = serve::ArrivalPattern::Burst;
+    else if (pattern == "diurnal")
+        tc.pattern = serve::ArrivalPattern::Diurnal;
+    else if (pattern != "poisson")
+        throw std::runtime_error("unknown --pattern " + pattern);
+    tc.zipfAlpha = args.getDouble("zipf-alpha", 0.0);
+    tc.numTenants =
+        static_cast<uint32_t>(args.getInt("tenants", 1));
+    tc.deadlineUs =
+        static_cast<uint64_t>(args.getInt("deadline-us", 0));
+    tc.strictFraction = args.getDouble("strict-frac", 0.0);
     std::vector<serve::Request> trace =
         serve::makeSyntheticTrace(g, tc);
 
@@ -291,6 +310,17 @@ cmdServe(const Args &args)
         static_cast<uint64_t>(args.getInt("max-wait-us", 200));
     sc.locator.maxIslandSize = static_cast<NodeId>(
         args.getInt("cmax", sc.locator.maxIslandSize));
+    // Any SLO knob switches the replay from FCFS to the admission-
+    // controlled EDF path.
+    if (args.has("qps-budget") || args.has("queue-cap") ||
+        args.has("staleness") || args.has("deadline-us")) {
+        sc.slo.enabled = true;
+        sc.slo.qpsBudget = args.getDouble("qps-budget", 0.0);
+        sc.slo.queueCap =
+            static_cast<uint32_t>(args.getInt("queue-cap", 1024));
+        sc.slo.stalenessBound =
+            static_cast<uint32_t>(args.getInt("staleness", 0));
+    }
 
     std::printf("serve: %u nodes, %llu edges; trace %zu requests "
                 "(%llu inference + %llu updates, %.0f%% deletions), "
@@ -321,6 +351,13 @@ cmdServe(const Args &args)
     std::printf("final epoch %llu\n--- stats ---\n%s",
                 static_cast<unsigned long long>(server.currentEpoch()),
                 server.stats().summary().c_str());
+    if (sc.slo.enabled) {
+        std::printf("--- per-tenant admission ---\n%s",
+                    server.stats().rejectionTable().c_str());
+        std::printf("shed %zu requests (%.1f%% shed rate)\n",
+                    rep.rejections.size(),
+                    100.0 * server.stats().shedRate());
+    }
     return 0;
 }
 
