@@ -22,6 +22,7 @@
 #include "core/consumer.hpp"
 #include "core/locator.hpp"
 #include "core/redundancy.hpp"
+#include "gcn/reference.hpp"
 #include "graph/generators.hpp"
 #include "runtime/thread_pool.hpp"
 #include "spmm/spmm.hpp"
@@ -137,6 +138,87 @@ BM_CscAdjunctBuild(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * a.nnz());
 }
 BENCHMARK(BM_CscAdjunctBuild);
+
+void
+BM_CsrGather(benchmark::State &state)
+{
+    // The serving engine's per-micro-batch row extraction: pull a
+    // receptive field's rows out of a NELL-shaped CSR feature matrix.
+    // range(0) = density in permille, range(1) = threads.
+    RssScope rss(state);
+    setGlobalThreads(static_cast<int>(state.range(1)));
+    const double density =
+        static_cast<double>(state.range(0)) / 1000.0;
+    Rng rng(3);
+    Features x = makeFeatures(20000, 4096, density, rng,
+                              /*force_sparse=*/true);
+    std::vector<NodeId> rows(1024);
+    for (NodeId &r : rows)
+        r = static_cast<NodeId>(rng.nextBounded(20000));
+    for (auto _ : state) {
+        CsrFeatures sub = csrGather(x.csr, rows);
+        benchmark::DoNotOptimize(sub.values.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(x.nnz()) * 1024 /
+                            20000);
+    setGlobalThreads(0);
+}
+BENCHMARK(BM_CsrGather)->ArgsProduct({{10, 100}, {1, 2, 4}});
+
+void
+BM_FirstLayerCombination(benchmark::State &state)
+{
+    // Layer-0 X*W at one shape in both storage forms — the time
+    // ratio between the sparse=1 and sparse=0 rows at one density is
+    // the first-layer speedup the CSR path buys. range(0) = density
+    // in permille, range(1) = sparse form, range(2) = threads.
+    RssScope rss(state);
+    setGlobalThreads(static_cast<int>(state.range(2)));
+    const double density =
+        static_cast<double>(state.range(0)) / 1000.0;
+    const bool sparse = state.range(1) != 0;
+    Rng rng(3);
+    Features x = makeFeatures(4096, 4096, density, rng, sparse);
+    DenseMatrix w(4096, 16);
+    w.fillRandom(rng);
+    for (auto _ : state) {
+        DenseMatrix c = sparse ? sparseTimesDense(x.csr, w, nullptr)
+                               : gemm(x.dense, w);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(x.nnz()) * 16);
+    setGlobalThreads(0);
+}
+BENCHMARK(BM_FirstLayerCombination)
+    ->ArgsProduct({{10, 100}, {0, 1}, {1, 4}});
+
+void
+BM_SparseTransposeTimesDense(benchmark::State &state)
+{
+    // Backward-pass X^T * dU for CSR features, steady-state (the CSC
+    // adjunct is built once and reused across epochs).
+    RssScope rss(state);
+    setGlobalThreads(static_cast<int>(state.range(1)));
+    const double density =
+        static_cast<double>(state.range(0)) / 1000.0;
+    Rng rng(3);
+    Features x = makeFeatures(20000, 4096, density, rng,
+                              /*force_sparse=*/true);
+    DenseMatrix b(20000, 16);
+    b.fillRandom(rng);
+    (void)x.csr.csc();
+    for (auto _ : state) {
+        DenseMatrix c = sparseTransposeTimesDense(x.csr, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(x.nnz()) * 16);
+    setGlobalThreads(0);
+}
+BENCHMARK(BM_SparseTransposeTimesDense)
+    ->ArgsProduct({{10}, {1, 4}});
 
 void
 BM_Islandize(benchmark::State &state)

@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -87,6 +88,8 @@ main(int argc, char **argv)
     json.beginObject();
     json.key("bench").value("serving");
     json.key("quick").value(quick);
+    json.key("hardware_concurrency").value(
+        static_cast<uint64_t>(std::thread::hardware_concurrency()));
     json.key("requests").value(num_inference);
     json.key("datasets").beginArray();
 
@@ -96,11 +99,6 @@ main(int argc, char **argv)
         Features x = makeFeatures(data.graph.numNodes(),
                                   data.info.numFeatures,
                                   data.info.featureDensity, rng);
-        if (x.sparse) {
-            std::printf("%s: sparse features; skipped (serving engine "
-                        "is dense-feature)\n", c.name);
-            continue;
-        }
         ModelConfig mc =
             modelConfig(Model::GCN, NetConfig::Algo, data.info);
         std::vector<DenseMatrix> weights = makeWeights(mc, rng);
@@ -136,7 +134,7 @@ main(int argc, char **argv)
 
             serve::ServerConfig sc;
             sc.scheduler.maxBatch = p.batchCap;
-            serve::Server server(data.graph, x.dense, weights, sc);
+            serve::Server server(data.graph, x, weights, sc);
 
             const auto t0 = std::chrono::steady_clock::now();
             serve::ReplayReport rep =
@@ -190,6 +188,103 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     json.endArray(); // datasets
+
+    // --- feature-density sweep: CSR vs dense X on NellSmall -------
+    // The tentpole scenario: the 0.01-density NELL surrogate served
+    // with CSR features versus the densified image, at densities
+    // 0.01 / 0.1 / 1.0. feature_kb is the exact storage scoreboard;
+    // peak_rss_kb corroborates it — the process peak is monotone, so
+    // the three CSR arms run first and the staircase up to the dense
+    // arms is the memory the sparse path never touches.
+    {
+        const double ds_scale = quick ? 0.25 : 0.5;
+        DatasetGraph data = buildDataset(Dataset::NellSmall, ds_scale);
+        ModelConfig mc =
+            modelConfig(Model::GCN, NetConfig::Algo, data.info);
+        Rng wrng(7);
+        std::vector<DenseMatrix> weights = makeWeights(mc, wrng);
+
+        serve::TraceConfig tc;
+        tc.numInference = quick ? 400 : 2000;
+        tc.numUpdates = tc.numInference / 20;
+        tc.seed = 11;
+        std::vector<serve::Request> trace =
+            serve::makeSyntheticTrace(data.graph, tc);
+
+        std::printf("density sweep: nell-small (%u nodes, %d "
+                    "features, %zu requests)\n",
+                    data.graph.numNodes(), data.info.numFeatures,
+                    trace.size());
+        std::printf("  %-8s %-6s | %10s %10s | %9s %8s %8s | %10s\n",
+                    "density", "form", "feat-kb", "nnz", "wall-rps",
+                    "p50us", "p99us", "peakrss-kb");
+
+        json.key("density_sweep").beginObject();
+        json.key("dataset").value("nell-small");
+        json.key("nodes").value(
+            static_cast<uint64_t>(data.graph.numNodes()));
+        json.key("features").value(data.info.numFeatures);
+        json.key("requests").value(
+            static_cast<uint64_t>(trace.size()));
+        json.key("configs").beginArray();
+
+        const double densities[] = {0.01, 0.1, 1.0};
+        for (const bool sparse_arm : {true, false}) {
+            for (const double density : densities) {
+                Rng rng(7);
+                Features x = makeFeatures(data.graph.numNodes(),
+                                          data.info.numFeatures,
+                                          density, rng, sparse_arm);
+                serve::ServerConfig sc;
+                sc.scheduler.maxBatch = 32;
+                serve::Server server(data.graph, x, weights, sc);
+
+                const auto t0 = std::chrono::steady_clock::now();
+                serve::ReplayReport rep = server.runTrace(trace);
+                const double wall_s =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+                const serve::ServerStats &st = server.stats();
+                const serve::LatencySummary lat =
+                    st.inferenceLatency();
+                const double wall_rps =
+                    static_cast<double>(rep.inference.size()) /
+                    wall_s;
+                const double feat_kb =
+                    static_cast<double>(x.storageBytes()) / 1024.0;
+
+                std::printf("  %-8.2f %-6s | %10.1f %10llu | %9.0f "
+                            "%8.0f %8.0f | %10llu\n",
+                            density, x.sparse ? "csr" : "dense",
+                            feat_kb,
+                            static_cast<unsigned long long>(x.nnz()),
+                            wall_rps, lat.p50, lat.p99,
+                            static_cast<unsigned long long>(
+                                peakRssKb()));
+
+                json.beginObject();
+                json.key("density").value(density);
+                json.key("representation")
+                    .value(x.sparse ? "csr" : "dense");
+                json.key("feature_kb").value(feat_kb);
+                json.key("feature_nnz").value(x.nnz());
+                json.key("wall_seconds").value(wall_s);
+                json.key("wall_rps").value(wall_rps);
+                json.key("latency_p50_us").value(lat.p50);
+                json.key("latency_p99_us").value(lat.p99);
+                json.key("mean_batch").value(st.meanBatchSize());
+                json.key("whole_graph_batches")
+                    .value(st.wholeGraphBatches());
+                json.key("peak_rss_kb").value(peakRssKb());
+                json.endObject();
+            }
+        }
+        json.endArray(); // density configs
+        json.endObject(); // density_sweep
+        std::printf("\n");
+    }
 
     // --- SLO sweep: admission control on an overloaded trace ------
     // A bursty multi-tenant trace whose arrival rate far exceeds the

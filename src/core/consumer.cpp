@@ -218,7 +218,7 @@ gcnForwardViaIslands(const CsrGraph &g, const IslandizationResult &isl,
     for (size_t l = 0; l < weights.size(); ++l) {
         DenseMatrix xw;
         if (l == 0) {
-            xw = x.sparse ? csrTimesDense(x.csr, weights[l])
+            xw = x.sparse ? sparseTimesDense(x.csr, weights[l])
                           : gemm(x.dense, weights[l]);
         } else {
             xw = gemm(current, weights[l]);

@@ -74,6 +74,30 @@ refreshNormalizedAdjacency(CsrMatrix &m, const CsrGraph &g,
     m.invalidateCsc();
 }
 
+namespace {
+
+/**
+ * Shared layer chain past the first combination: aggregate xw0 over
+ * a_hat, then gemm/aggregate/ReLU through the remaining layers. Both
+ * subgraphForward overloads funnel here, so the dense and sparse
+ * entry points run the identical operation sequence after layer 0's
+ * X W product.
+ */
+DenseMatrix
+forwardChain(const CsrMatrix &a_hat, DenseMatrix xw0,
+             const std::vector<DenseMatrix> &weights)
+{
+    DenseMatrix current = spmmPullRowWise(a_hat, xw0);
+    for (size_t l = 1; l < weights.size(); ++l) {
+        reluInPlace(current);
+        DenseMatrix xw = gemm(current, weights[l]);
+        current = spmmPullRowWise(a_hat, xw);
+    }
+    return current;
+}
+
+} // namespace
+
 DenseMatrix
 subgraphForward(const CsrGraph &sub, const std::vector<float> &scale,
                 const DenseMatrix &x,
@@ -82,14 +106,18 @@ subgraphForward(const CsrGraph &sub, const std::vector<float> &scale,
     if (weights.empty())
         throw std::invalid_argument("no layers");
     CsrMatrix a_hat = normalizedAdjacencyScaled(sub, scale);
-    DenseMatrix current;
-    for (size_t l = 0; l < weights.size(); ++l) {
-        DenseMatrix xw = gemm(l == 0 ? x : current, weights[l]);
-        current = spmmPullRowWise(a_hat, xw);
-        if (l + 1 < weights.size())
-            reluInPlace(current);
-    }
-    return current;
+    return forwardChain(a_hat, gemm(x, weights[0]), weights);
+}
+
+DenseMatrix
+subgraphForward(const CsrGraph &sub, const std::vector<float> &scale,
+                const CsrFeatures &x,
+                const std::vector<DenseMatrix> &weights)
+{
+    if (weights.empty())
+        throw std::invalid_argument("no layers");
+    CsrMatrix a_hat = normalizedAdjacencyScaled(sub, scale);
+    return forwardChain(a_hat, sparseTimesDense(x, weights[0]), weights);
 }
 
 CsrMatrix

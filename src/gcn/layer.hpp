@@ -66,6 +66,20 @@ DenseMatrix subgraphForward(const CsrGraph &sub,
                             const DenseMatrix &x,
                             const std::vector<DenseMatrix> &weights);
 
+/**
+ * Sparse-input overload: the first layer consumes CSR features
+ * directly (sparseTimesDense — no densification). sparseTimesDense
+ * accumulates each output element's stored entries in ascending
+ * column order, the same order gemm accumulates its non-zero a(i,k)
+ * terms, so on features whose dense image is x this overload is
+ * bit-identical to the dense subgraphForward; layers past the first
+ * share the exact dense chain.
+ */
+DenseMatrix subgraphForward(const CsrGraph &sub,
+                            const std::vector<float> &scale,
+                            const CsrFeatures &x,
+                            const std::vector<DenseMatrix> &weights);
+
 /** Binary adjacency with self loops, A + I (factored path). */
 CsrMatrix binaryAdjacencyWithSelfLoops(const CsrGraph &g);
 

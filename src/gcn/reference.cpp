@@ -13,6 +13,14 @@ Features::nnz() const
     return dense.countNonZeros();
 }
 
+size_t
+Features::storageBytes() const
+{
+    if (sparse)
+        return csr.storageBytes();
+    return dense.rows() * dense.cols() * sizeof(float);
+}
+
 Features
 makeFeatures(NodeId num_nodes, int num_features, double density, Rng &rng,
              bool force_sparse)
@@ -31,7 +39,7 @@ makeFeatures(NodeId num_nodes, int num_features, double density, Rng &rng,
             f.dense.fillRandomSparse(rng, density, 1.0f);
         return f;
     }
-    CsrMatrix &m = f.csr;
+    CsrFeatures &m = f.csr;
     m.numRows = num_nodes;
     m.numCols = static_cast<NodeId>(num_features);
     m.rowPtr.assign(num_nodes + 1, 0);
@@ -81,7 +89,7 @@ DenseMatrix
 combination(const Features &x, const DenseMatrix &w)
 {
     if (x.sparse)
-        return csrTimesDense(x.csr, w);
+        return sparseTimesDense(x.csr, w);
     return gemm(x.dense, w);
 }
 

@@ -22,11 +22,14 @@ struct Features
 {
     bool sparse = false;
     DenseMatrix dense;
-    CsrMatrix csr;
+    CsrFeatures csr;
 
     size_t rows() const { return sparse ? csr.numRows : dense.rows(); }
     size_t cols() const { return sparse ? csr.numCols : dense.cols(); }
     EdgeId nnz() const;
+
+    /** Heap bytes of the active representation. */
+    size_t storageBytes() const;
 };
 
 /** Deterministic random features with a given density. */

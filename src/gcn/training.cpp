@@ -91,7 +91,7 @@ trainingForward(const CsrGraph &g, const IslandizationResult &isl,
     for (size_t l = 0; l < weights.size(); ++l) {
         cache.layerInputs.push_back(l == 0 ? DenseMatrix{} : current);
         DenseMatrix u = (l == 0)
-            ? (x.sparse ? csrTimesDense(x.csr, weights[l])
+            ? (x.sparse ? sparseTimesDense(x.csr, weights[l])
                         : gemm(x.dense, weights[l]))
             : gemm(current, weights[l]);
         scaleRows(u, s);
@@ -160,7 +160,7 @@ trainingBackward(const CsrGraph &g, const IslandizationResult &isl,
         // reused by every subsequent layer and epoch.
         if (l == 0) {
             grads.weightGrads[l] = x.sparse
-                ? csrTransposeTimesDense(x.csr, du)
+                ? sparseTransposeTimesDense(x.csr, du)
                 : gemmTransposeA(x.dense, du);
         } else {
             grads.weightGrads[l] =

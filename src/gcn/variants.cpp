@@ -10,7 +10,7 @@ DenseMatrix
 combination(const Features &x, const DenseMatrix &w)
 {
     if (x.sparse)
-        return csrTimesDense(x.csr, w);
+        return sparseTimesDense(x.csr, w);
     return gemm(x.dense, w);
 }
 

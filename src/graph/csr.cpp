@@ -162,6 +162,105 @@ CsrGraph::withRemovedEdges(std::span<const Edge> removed) const
     return fromCsrArrays(std::move(rp), std::move(ci));
 }
 
+CsrGraph
+CsrGraph::withEditedEdges(std::span<const Edge> fresh,
+                          std::span<const Edge> stale) const
+{
+    const NodeId n = numNodes();
+
+    std::vector<Edge> adds;
+    adds.reserve(fresh.size() * 2);
+    for (const auto &[u, v] : fresh) {
+        if (u >= n || v >= n)
+            throw std::out_of_range(
+                "withEditedEdges: endpoint exceeds num_nodes");
+        if (u == v)
+            continue;
+        adds.emplace_back(u, v);
+        adds.emplace_back(v, u);
+    }
+    std::sort(adds.begin(), adds.end());
+    adds.erase(std::unique(adds.begin(), adds.end()), adds.end());
+
+    std::vector<Edge> rems;
+    rems.reserve(stale.size() * 2);
+    for (const auto &[u, v] : stale) {
+        if (u >= n || v >= n)
+            throw std::out_of_range(
+                "withEditedEdges: endpoint exceeds num_nodes");
+        rems.emplace_back(u, v);
+        if (u != v)
+            rems.emplace_back(v, u);
+    }
+    std::sort(rems.begin(), rems.end());
+    rems.erase(std::unique(rems.begin(), rems.end()), rems.end());
+
+    // Both-spans is an ambiguous edit, not a sequencing question:
+    // reject it up front instead of picking an order silently. (The
+    // serving applier's want-map coalescing never produces one.)
+    {
+        size_t a = 0, r = 0;
+        while (a < adds.size() && r < rems.size()) {
+            if (adds[a] < rems[r])
+                ++a;
+            else if (rems[r] < adds[a])
+                ++r;
+            else
+                throw std::invalid_argument(
+                    "withEditedEdges: edge (" +
+                    std::to_string(adds[a].first) + ", " +
+                    std::to_string(adds[a].second) +
+                    ") in both fresh and stale spans");
+        }
+    }
+
+    auto missing = [](const Edge &arc) {
+        throw std::invalid_argument(
+            "withEditedEdges: edge (" + std::to_string(arc.first) +
+            ", " + std::to_string(arc.second) + ") not present");
+    };
+
+    // One three-way sweep per row: existing ∪ adds, minus rems, with
+    // the removal strictness of withRemovedEdges (rems must match
+    // existing entries; adds cannot satisfy a removal — the
+    // intersection check above already rejected that shape).
+    std::vector<EdgeId> rp(static_cast<size_t>(n) + 1, 0);
+    std::vector<NodeId> ci;
+    ci.reserve(colIdx.size() + adds.size());
+    size_t ai = 0, ri = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        EdgeId e = rowPtr[u];
+        const EdgeId e1 = rowPtr[u + 1];
+        while (e < e1 || (ai < adds.size() && adds[ai].first == u)) {
+            const bool have_add =
+                ai < adds.size() && adds[ai].first == u;
+            if (have_add && (e >= e1 || adds[ai].second < colIdx[e])) {
+                ci.push_back(adds[ai++].second);
+                continue;
+            }
+            const NodeId c = colIdx[e];
+            if (have_add && adds[ai].second == c)
+                ai++; // arc already present; existing entry wins
+            // Removal arcs sorted before this entry matched nothing.
+            while (ri < rems.size() && rems[ri].first == u &&
+                   rems[ri].second < c)
+                missing(rems[ri]);
+            if (ri < rems.size() && rems[ri].first == u &&
+                rems[ri].second == c) {
+                ri++; // drop this arc
+                e++;
+                continue;
+            }
+            ci.push_back(c);
+            e++;
+        }
+        while (ri < rems.size() && rems[ri].first == u)
+            missing(rems[ri]);
+        rp[u + 1] = ci.size();
+    }
+    return fromCsrArrays(std::move(rp), std::move(ci));
+}
+
 bool
 CsrGraph::hasEdge(NodeId u, NodeId v) const
 {

@@ -195,6 +195,26 @@ class CsrGraph
     CsrGraph withRemovedEdges(std::span<const Edge> removed) const;
 
     /**
+     * Copy of this graph with `fresh` edges added and `stale` edges
+     * removed in ONE per-row merge sweep — the mixed-span epoch-build
+     * path of the online serving subsystem, which previously paid for
+     * withAddedEdges followed by withRemovedEdges (two full CSR
+     * rebuilds). Exactly equivalent to that two-pass composition for
+     * disjoint spans, with the same strict contracts: fresh edges
+     * follow withAddedEdges semantics (both arcs, duplicates and
+     * already-present absorbed, self loops dropped), stale edges
+     * follow withRemovedEdges semantics (every requested edge must be
+     * present or std::invalid_argument names it). An edge appearing
+     * in both spans (either orientation) is an ambiguous edit and
+     * throws std::invalid_argument — the UpdateApplier's last-write-
+     * wins coalescing guarantees disjoint presence-changing spans
+     * before calling in. Endpoints out of range throw
+     * std::out_of_range. O(E + k log k) for k edited edges.
+     */
+    CsrGraph withEditedEdges(std::span<const Edge> fresh,
+                             std::span<const Edge> stale) const;
+
+    /**
      * Number of nodes. A graph whose rowPtr is empty (moved-from, or
      * otherwise never built) reports 0 instead of underflowing
      * rowPtr.size() - 1 to 0xFFFFFFFF.

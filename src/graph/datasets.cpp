@@ -64,6 +64,22 @@ recipeFor(Dataset d)
         r.gen.hubHubDegree = 2.0;
         r.gen.seed = 0x4E11;
         break;
+      case Dataset::NellSmall:
+        // ~1/10-node NELL stand-in at the tentpole density (0.01):
+        // same generator shape and skew as Nell, feature width cut so
+        // a dense X (6576 x 6128 floats, ~154 MiB) is still buildable
+        // for differential sparse-vs-dense tests while the CSR form
+        // is ~100x smaller.
+        r.info = {"NellSmall", "NS", 6576, 25155, 6128, 19, 0.01, 1.0};
+        r.gen.hubFraction = 0.0075;
+        r.gen.meanIslandSize = 5;
+        r.gen.intraIslandProb = 0.75;
+        r.gen.hubsPerIsland = 1.2;
+        r.gen.hubAttachProb = 0.50;
+        r.gen.hubPopularityExp = 1.10;
+        r.gen.hubHubDegree = 2.0;
+        r.gen.seed = 0x4E12;
+        break;
       case Dataset::Reddit:
         // Scaled from 114M to ~23M directed edges (DESIGN.md sec. 2);
         // weak community structure per the paper's Reddit remark.
@@ -94,6 +110,7 @@ datasetInfo(Dataset d)
         recipeFor(Dataset::Pubmed).info,
         recipeFor(Dataset::Nell).info,
         recipeFor(Dataset::Reddit).info,
+        recipeFor(Dataset::NellSmall).info,
     };
     return infos[static_cast<int>(d)];
 }

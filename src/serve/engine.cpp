@@ -54,7 +54,7 @@ GraphStateHub::currentEpoch() const
 }
 
 InferenceEngine::InferenceEngine(std::shared_ptr<GraphStateHub> hub,
-                                 DenseMatrix features,
+                                 Features features,
                                  std::vector<DenseMatrix> weights,
                                  double whole_graph_fraction)
     : hub(std::move(hub)), features(std::move(features)),
@@ -69,6 +69,16 @@ InferenceEngine::InferenceEngine(std::shared_ptr<GraphStateHub> hub,
     if (this->features.rows() != state->graph.numNodes())
         throw std::invalid_argument(
             "InferenceEngine: features rows != graph nodes");
+}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<GraphStateHub> hub,
+                                 DenseMatrix features,
+                                 std::vector<DenseMatrix> weights,
+                                 double whole_graph_fraction)
+    : InferenceEngine(std::move(hub),
+                      Features{false, std::move(features), {}},
+                      std::move(weights), whole_graph_fraction)
+{
 }
 
 std::vector<InferenceResult>
@@ -122,8 +132,15 @@ InferenceEngine::runBatch(std::span<const Request> batch,
         local_info.wholeGraph = true;
         DenseMatrix current;
         for (size_t l = 0; l < weights.size(); ++l) {
+            // Layer 0 consumes X in whichever form it is stored;
+            // sparseTimesDense matches gemm bit-for-bit on the same
+            // logical matrix, so both forms serve identical logits.
             DenseMatrix xw =
-                gemm(l == 0 ? features : current, weights[l]);
+                (l == 0)
+                    ? (features.sparse
+                           ? sparseTimesDense(features.csr, weights[l])
+                           : gemm(features.dense, weights[l]))
+                    : gemm(current, weights[l]);
             current = spmmPullRowWise(state->normAdj, xw);
             if (l + 1 < weights.size())
                 reluInPlace(current);
@@ -137,15 +154,24 @@ InferenceEngine::runBatch(std::span<const Request> batch,
         local_info.subNodes =
             static_cast<uint32_t>(ext.nodes.size());
         local_info.subEdges = ext.sub.numEdges();
-        DenseMatrix x_local(ext.nodes.size(), features.cols());
         std::vector<float> scale_local(ext.nodes.size());
-        for (size_t l = 0; l < ext.nodes.size(); ++l) {
-            std::copy_n(features.row(ext.nodes[l]), features.cols(),
-                        x_local.row(l));
+        for (size_t l = 0; l < ext.nodes.size(); ++l)
             scale_local[l] = state->scale[ext.nodes[l]];
+        DenseMatrix sub_out;
+        if (features.sparse) {
+            // Gather the receptive field's feature rows in CSR form:
+            // O(field nnz) moved, never the dense rows * cols image.
+            CsrFeatures x_local = csrGather(features.csr, ext.nodes);
+            sub_out =
+                subgraphForward(ext.sub, scale_local, x_local, weights);
+        } else {
+            DenseMatrix x_local(ext.nodes.size(), features.cols());
+            for (size_t l = 0; l < ext.nodes.size(); ++l)
+                std::copy_n(features.dense.row(ext.nodes[l]),
+                            features.cols(), x_local.row(l));
+            sub_out =
+                subgraphForward(ext.sub, scale_local, x_local, weights);
         }
-        DenseMatrix sub_out =
-            subgraphForward(ext.sub, scale_local, x_local, weights);
         // Map each request target to its local row. ext.nodes is
         // ascending, so a binary search suffices.
         out_rows = DenseMatrix(targets.size(), numClasses());

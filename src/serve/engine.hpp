@@ -22,6 +22,7 @@
 
 #include "core/locator.hpp"
 #include "gcn/layer.hpp"
+#include "gcn/reference.hpp"
 #include "serve/request.hpp"
 #include "spmm/dense.hpp"
 
@@ -89,12 +90,26 @@ struct BatchExecInfo
  * would touch nearly every node either way, and the cached A_hat
  * skips the sub-CSR rebuild and row gathers.
  *
+ * Features may be dense or CSR (Features::sparse). On the sparse
+ * side the engine never densifies X: the subgraph path gathers the
+ * receptive field's rows with csrGather and feeds the sparse
+ * subgraphForward overload, and the whole-graph path runs
+ * sparseTimesDense for layer 0 — both bit-identical to the dense
+ * engine on a densified copy of the same features, at any
+ * IGCN_THREADS (see sparseTimesDense).
+ *
  * runBatch is const and thread-safe: concurrent batches and a
  * concurrent update writer interact only through the hub.
  */
 class InferenceEngine
 {
   public:
+    InferenceEngine(std::shared_ptr<GraphStateHub> hub,
+                    Features features,
+                    std::vector<DenseMatrix> weights,
+                    double whole_graph_fraction = 0.5);
+
+    /** Dense-feature convenience ctor (the pre-sparse API). */
     InferenceEngine(std::shared_ptr<GraphStateHub> hub,
                     DenseMatrix features,
                     std::vector<DenseMatrix> weights,
@@ -110,7 +125,7 @@ class InferenceEngine
 
   private:
     std::shared_ptr<GraphStateHub> hub;
-    DenseMatrix features;
+    Features features;
     std::vector<DenseMatrix> weights;
     double wholeGraphFraction;
 };

@@ -163,10 +163,19 @@ struct UpdateResult
     size_t edgesApplied = 0;
     /** Existing undirected edges actually deleted. */
     size_t edgesRemoved = 0;
-    /** Events dropped: out of range, self loops, additions already
+    /** Malformed events dropped at the lenient serving boundary:
+     *  out-of-range endpoints and self loops. */
+    size_t edgesSkippedInvalid = 0;
+    /** Well-formed events with no presence change: additions already
      *  present, removals already absent, add/remove pairs that
-     *  cancelled inside the span. */
-    size_t edgesSkipped = 0;
+     *  cancelled inside the span (benign duplicates, not trace bugs —
+     *  the distinction edgesSkippedInvalid exists to keep). */
+    size_t edgesSkippedNoop = 0;
+    /** Total events dropped, either way. */
+    size_t edgesSkipped() const
+    {
+        return edgesSkippedInvalid + edgesSkippedNoop;
+    }
     uint64_t arrivalUs = 0;
     uint64_t startUs = 0;
     uint64_t doneUs = 0;

@@ -34,7 +34,7 @@ ServiceModel::updateCostUs(const UpdateResult &res) const
     return static_cast<uint64_t>(std::ceil(cost));
 }
 
-Server::Server(CsrGraph g, DenseMatrix features,
+Server::Server(CsrGraph g, Features features,
                std::vector<DenseMatrix> weights, ServerConfig cfg)
     : cfg(cfg),
       hub(std::make_shared<GraphStateHub>(
@@ -42,6 +42,12 @@ Server::Server(CsrGraph g, DenseMatrix features,
       engine(hub, std::move(features), std::move(weights),
              cfg.wholeGraphFraction),
       applier(hub, cfg.locator)
+{}
+
+Server::Server(CsrGraph g, DenseMatrix features,
+               std::vector<DenseMatrix> weights, ServerConfig cfg)
+    : Server(std::move(g), Features{false, std::move(features), {}},
+             std::move(weights), cfg)
 {}
 
 Server::~Server()

@@ -99,6 +99,10 @@ struct SubmitOptions
 class Server
 {
   public:
+    Server(CsrGraph g, Features features,
+           std::vector<DenseMatrix> weights, ServerConfig cfg = {});
+
+    /** Dense-feature convenience ctor (the pre-sparse API). */
     Server(CsrGraph g, DenseMatrix features,
            std::vector<DenseMatrix> weights, ServerConfig cfg = {});
     ~Server();

@@ -116,6 +116,8 @@ ServerStats::recordUpdate(const UpdateResult &r)
     numUpdCoalesced += r.coalesced;
     numEdgesApplied += r.edgesApplied;
     numEdgesRemoved += r.edgesRemoved;
+    numEdgesSkippedInvalid += r.edgesSkippedInvalid;
+    numEdgesSkippedNoop += r.edgesSkippedNoop;
     if (r.edgesApplied > 0 || r.edgesRemoved > 0)
         numEpochs++;
     firstArrivalUs = std::min(firstArrivalUs, r.arrivalUs);
@@ -198,7 +200,8 @@ ServerStats::summary() const
         "latency us: p50 %.0f  p95 %.0f  p99 %.0f  mean %.1f  max %llu\n"
         "throughput: %.0f req/s (server-clock makespan)\n"
         "updates: %llu applications (%llu requests coalesced, "
-        "%llu edges added, %llu removed, %llu epochs)\n"
+        "%llu edges added, %llu removed, %llu epochs; "
+        "skipped %llu invalid + %llu no-op)\n"
         "update latency us: p50 %.0f  p99 %.0f\n"
         "interleaves: %llu  mean receptive field: %.1f nodes\n",
         static_cast<unsigned long long>(inf.count),
@@ -211,7 +214,10 @@ ServerStats::summary() const
         static_cast<unsigned long long>(numUpdCoalesced),
         static_cast<unsigned long long>(numEdgesApplied),
         static_cast<unsigned long long>(numEdgesRemoved),
-        static_cast<unsigned long long>(numEpochs), upd.p50, upd.p99,
+        static_cast<unsigned long long>(numEpochs),
+        static_cast<unsigned long long>(numEdgesSkippedInvalid),
+        static_cast<unsigned long long>(numEdgesSkippedNoop),
+        upd.p50, upd.p99,
         static_cast<unsigned long long>(numInterleaves),
         meanSubgraphNodes());
     std::string out = buf;

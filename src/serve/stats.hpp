@@ -112,6 +112,10 @@ class ServerStats
     uint64_t epochsPublished() const { return numEpochs; }
     uint64_t edgesApplied() const { return numEdgesApplied; }
     uint64_t edgesRemoved() const { return numEdgesRemoved; }
+    /** Malformed update events dropped (out-of-range / self loop). */
+    uint64_t edgesSkippedInvalid() const { return numEdgesSkippedInvalid; }
+    /** Update events with no presence change (benign duplicates). */
+    uint64_t edgesSkippedNoop() const { return numEdgesSkippedNoop; }
     uint64_t wholeGraphBatches() const { return numWholeGraph; }
     /** Inference <-> update transitions in dispatch order. */
     uint64_t interleaves() const { return numInterleaves; }
@@ -135,6 +139,8 @@ class ServerStats
     uint64_t numEpochs = 0;
     uint64_t numEdgesApplied = 0;
     uint64_t numEdgesRemoved = 0;
+    uint64_t numEdgesSkippedInvalid = 0;
+    uint64_t numEdgesSkippedNoop = 0;
     uint64_t numWholeGraph = 0;
     uint64_t numInterleaves = 0;
     uint64_t subNodesTotal = 0;

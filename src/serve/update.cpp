@@ -38,20 +38,25 @@ UpdateApplier::apply(std::span<const Request> batch)
     // exactly the edges that change presence.
     std::map<Edge, bool> want; // normalized edge -> present after span
     size_t proposed = 0;
+    size_t invalid = 0;
     for (const Request &r : batch) {
         if (r.kind != RequestKind::Update)
             throw std::invalid_argument(
                 "apply: non-update request in batch");
         for (const auto &[u, v] : r.addedEdges) {
             proposed++;
-            if (u >= n || v >= n || u == v)
+            if (u >= n || v >= n || u == v) {
+                invalid++;
                 continue;
+            }
             want[{std::min(u, v), std::max(u, v)}] = true;
         }
         for (const auto &[u, v] : r.removedEdges) {
             proposed++;
-            if (u >= n || v >= n || u == v)
+            if (u >= n || v >= n || u == v) {
+                invalid++;
                 continue;
+            }
             want[{std::min(u, v), std::max(u, v)}] = false;
         }
     }
@@ -65,7 +70,9 @@ UpdateApplier::apply(std::span<const Request> batch)
     }
     res.edgesApplied = fresh.size();
     res.edgesRemoved = stale.size();
-    res.edgesSkipped = proposed - fresh.size() - stale.size();
+    res.edgesSkippedInvalid = invalid;
+    res.edgesSkippedNoop =
+        proposed - invalid - fresh.size() - stale.size();
 
     if (fresh.empty() && stale.empty()) {
         res.epoch = cur->epoch; // no-op: nothing to publish
@@ -74,10 +81,10 @@ UpdateApplier::apply(std::span<const Request> batch)
 
     auto next = std::make_shared<GraphState>();
     next->epoch = cur->epoch + 1;
-    next->graph = fresh.empty() ? cur->graph.withRemovedEdges(stale)
-                                : cur->graph.withAddedEdges(fresh);
-    if (!fresh.empty() && !stale.empty())
-        next->graph = next->graph.withRemovedEdges(stale);
+    // The want-map screening above makes fresh/stale disjoint
+    // presence-changing spans, exactly withEditedEdges' contract; one
+    // merge sweep replaces the two-pass add-then-remove rebuild.
+    next->graph = cur->graph.withEditedEdges(fresh, stale);
     next->islands = updateIslandization(next->graph, cur->islands,
                                         fresh, stale, locator,
                                         &res.stats);

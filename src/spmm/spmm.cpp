@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "runtime/thread_pool.hpp"
 
@@ -262,6 +263,116 @@ csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
     DenseMatrix c(x.numCols, b.cols());
     gatherTiled(csc.colPtr, csc.rowOf, csc.valOf, b, c);
     return c;
+}
+
+CsrFeatures
+csrGather(const CsrFeatures &x, std::span<const NodeId> rows)
+{
+    for (NodeId r : rows)
+        if (r >= x.numRows)
+            throw std::out_of_range("csrGather: row " +
+                                    std::to_string(r) + " >= numRows " +
+                                    std::to_string(x.numRows));
+
+    CsrFeatures out;
+    out.numRows = static_cast<NodeId>(rows.size());
+    out.numCols = x.numCols;
+    out.rowPtr.assign(rows.size() + 1, 0);
+    for (size_t i = 0; i < rows.size(); ++i)
+        out.rowPtr[i + 1] = out.rowPtr[i] + x.rowNnz(rows[i]);
+    out.colIdx.resize(out.rowPtr.back());
+    out.values.resize(out.rowPtr.back());
+
+    // Each output row copies exactly one source row into its own
+    // prefix-summed slot: disjoint writes, so the parallel copy is
+    // race-free and trivially bit-identical at any thread count.
+    globalPool().parallelFor(0, rows.size(),
+                             [&](int, size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            const EdgeId src = x.rowPtr[rows[i]];
+            const EdgeId n = out.rowPtr[i + 1] - out.rowPtr[i];
+            std::copy_n(x.colIdx.data() + src, n,
+                        out.colIdx.data() + out.rowPtr[i]);
+            std::copy_n(x.values.data() + src, n,
+                        out.values.data() + out.rowPtr[i]);
+        }
+    }, /*min_per_worker=*/64);
+    return out;
+}
+
+DenseMatrix
+sparseTimesDense(const CsrFeatures &x, const DenseMatrix &w,
+                 SpmmCounters *counters)
+{
+    if (x.numCols != w.rows())
+        throw std::invalid_argument("sparseTimesDense shape mismatch");
+    const size_t channels = w.cols();
+    DenseMatrix c(x.numRows, channels);
+    gatherTiled(x.rowPtr, x.colIdx, x.values, w, c);
+
+    // Same pull-row-wise access profile as spmmPullRowWise: one A
+    // read and one irregular full-row B pull per stored entry, one
+    // streamed write per output element. Arithmetic in nnz and
+    // channels, so thread-count exact and directly comparable to the
+    // dense path's rows * k * n accounting.
+    if (counters) {
+        SpmmCounters cnt;
+        cnt.aReads = x.nnz();
+        cnt.bIrregularReads = x.nnz() * channels;
+        cnt.macOps = x.nnz() * channels;
+        cnt.cStreamedWrites =
+            static_cast<uint64_t>(x.numRows) * channels;
+        *counters += cnt;
+    }
+    return c;
+}
+
+DenseMatrix
+sparseTransposeTimesDense(const CsrFeatures &x, const DenseMatrix &b)
+{
+    if (x.numRows != b.rows())
+        throw std::invalid_argument(
+            "shape mismatch in sparseTransposeTimesDense");
+
+    // Same race-free CSC gather as csrTransposeTimesDense: column j
+    // of X lists output row j's entries in ascending row order (the
+    // sequential scatter's order), workers own disjoint output rows.
+    const CsrFeatures::CscView &csc = x.csc();
+    DenseMatrix c(x.numCols, b.cols());
+    gatherTiled(csc.colPtr, csc.rowOf, csc.valOf, b, c);
+    return c;
+}
+
+CsrFeatures
+denseToCsrFeatures(const DenseMatrix &m)
+{
+    CsrFeatures out;
+    out.numRows = static_cast<NodeId>(m.rows());
+    out.numCols = static_cast<NodeId>(m.cols());
+    out.rowPtr.assign(m.rows() + 1, 0);
+    const size_t nnz = m.countNonZeros();
+    out.colIdx.reserve(nnz);
+    out.values.reserve(nnz);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t c = 0; c < m.cols(); ++c) {
+            if (m.at(r, c) != 0.0f) {
+                out.colIdx.push_back(static_cast<NodeId>(c));
+                out.values.push_back(m.at(r, c));
+            }
+        }
+        out.rowPtr[r + 1] = out.colIdx.size();
+    }
+    return out;
+}
+
+DenseMatrix
+csrFeaturesToDense(const CsrFeatures &x)
+{
+    DenseMatrix d(x.numRows, x.numCols);
+    for (NodeId r = 0; r < x.numRows; ++r)
+        for (EdgeId e = x.rowPtr[r]; e < x.rowPtr[r + 1]; ++e)
+            d.at(r, x.colIdx[e]) = x.values[e];
+    return d;
 }
 
 CsrMatrix

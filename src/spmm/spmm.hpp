@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/csr.hpp"
+#include "graph/csr_features.hpp"
 #include "spmm/dense.hpp"
 
 namespace igcn {
@@ -143,5 +145,47 @@ DenseMatrix csrTransposeTimesDense(const CsrMatrix &x,
 
 /** Convert a dense matrix into CSR form (exact, drops zeros). */
 CsrMatrix denseToCsr(const DenseMatrix &m);
+
+/**
+ * Row-extraction kernel for CSR feature matrices: output row i is a
+ * structural copy of x's row rows[i] (duplicates allowed, any order).
+ * This is the serving engine's per-target-set gather — the sparse
+ * analogue of the dense row-copy loop that builds a micro-batch's
+ * x_local. Offsets are prefix-summed sequentially, then rows are
+ * copied in parallel on the runtime pool; workers own disjoint output
+ * rows, so the result is bit-identical at any IGCN_THREADS.
+ * @throws std::out_of_range when a requested row id >= x.numRows.
+ */
+CsrFeatures csrGather(const CsrFeatures &x, std::span<const NodeId> rows);
+
+/**
+ * C = X * W for CSR features X (rows x k) and dense W (k x n): the
+ * sparse first-layer combination kernel. Executes as the same
+ * channel-tiled race-free row gather as spmmPullRowWise and reports
+ * the pull-row-wise Table-1 access profile (aReads = nnz,
+ * bIrregularReads = macOps = nnz * n, cStreamedWrites = rows * n) so
+ * the accel models account sparse and dense inputs under one model.
+ * Per output element the stored entries accumulate in ascending
+ * column order — exactly the order dense gemm accumulates its
+ * non-zero a(i,k) terms — so on a densified copy of X the result is
+ * bit-identical to gemm, at any IGCN_THREADS.
+ */
+DenseMatrix sparseTimesDense(const CsrFeatures &x, const DenseMatrix &w,
+                             SpmmCounters *counters = nullptr);
+
+/**
+ * C = X^T * B for CSR features X (rows x k) and dense B (rows x n):
+ * the backward-pass weight-gradient kernel for sparse X. A race-free
+ * gather over X's cached CSC view — bit-identical to the sequential
+ * scatter at any thread count, same scheme as csrTransposeTimesDense.
+ */
+DenseMatrix sparseTransposeTimesDense(const CsrFeatures &x,
+                                      const DenseMatrix &b);
+
+/** Convert a dense matrix into CsrFeatures (exact, drops zeros). */
+CsrFeatures denseToCsrFeatures(const DenseMatrix &m);
+
+/** Densify a CsrFeatures matrix, for verification on small inputs. */
+DenseMatrix csrFeaturesToDense(const CsrFeatures &x);
 
 } // namespace igcn

@@ -318,6 +318,82 @@ TEST(CsrGraph, WithRemovedEdgesMatchesEdgeListRebuild)
     }
 }
 
+TEST(CsrGraph, WithEditedEdgesMatchesTwoPassComposition)
+{
+    // The one-pass merge sweep must equal add-then-remove for
+    // disjoint spans, across graph families and adversarial spans
+    // (duplicates, both orientations, self loops among the adds).
+    Rng rng(57);
+    std::vector<CsrGraph> graphs;
+    graphs.push_back(erdosRenyi(300, 6.0, 3));
+    graphs.push_back(pathGraph(50));
+    graphs.push_back(starGraph(40));
+    for (const CsrGraph &g : graphs) {
+        std::set<Edge> present;
+        for (const auto &[u, v] : g.toEdges())
+            if (u < v)
+                present.insert({u, v});
+        std::vector<Edge> fresh, stale;
+        std::set<Edge> touched; // keeps the two spans disjoint
+        for (int i = 0; i < 30; ++i) {
+            const auto u =
+                static_cast<NodeId>(rng.nextBounded(g.numNodes()));
+            const auto v =
+                static_cast<NodeId>(rng.nextBounded(g.numNodes()));
+            const Edge e{std::min(u, v), std::max(u, v)};
+            if (u != v && !touched.insert(e).second)
+                continue;
+            if (u == v || !present.count(e)) {
+                fresh.emplace_back(u, v);
+                if (i % 4 == 0)
+                    fresh.emplace_back(v, u); // reverse duplicate
+            } else {
+                stale.push_back(e);
+            }
+        }
+        CsrGraph one = g.withEditedEdges(fresh, stale);
+        CsrGraph two = g.withAddedEdges(fresh);
+        if (!stale.empty())
+            two = two.withRemovedEdges(stale);
+        EXPECT_EQ(one, two);
+    }
+}
+
+TEST(CsrGraph, WithEditedEdgesDegenerateSpans)
+{
+    // Empty spans degenerate to the single-span operations (and to a
+    // structural copy when both are empty).
+    CsrGraph g = erdosRenyi(100, 4.0, 9);
+    EXPECT_EQ(g.withEditedEdges({}, {}), g);
+    const std::vector<Edge> add{{0, 50}, {1, 60}};
+    EXPECT_EQ(g.withEditedEdges(add, {}), g.withAddedEdges(add));
+    std::vector<Edge> rem;
+    for (const auto &[u, v] : g.toEdges())
+        if (u < v && rem.size() < 3)
+            rem.emplace_back(u, v);
+    EXPECT_EQ(g.withEditedEdges({}, rem), g.withRemovedEdges(rem));
+}
+
+TEST(CsrGraph, WithEditedEdgesNegativePaths)
+{
+    CsrGraph g = pathGraph(6); // edges (i, i+1)
+    // Out-of-range endpoints in either span.
+    EXPECT_THROW(g.withEditedEdges(std::vector<Edge>{{0, 9}}, {}),
+                 std::out_of_range);
+    EXPECT_THROW(g.withEditedEdges({}, std::vector<Edge>{{0, 9}}),
+                 std::out_of_range);
+    // Removing an absent edge stays strict.
+    EXPECT_THROW(g.withEditedEdges({}, std::vector<Edge>{{0, 5}}),
+                 std::invalid_argument);
+    // An edge in both spans is an ambiguous edit, either orientation.
+    EXPECT_THROW(g.withEditedEdges(std::vector<Edge>{{0, 2}},
+                                   std::vector<Edge>{{0, 2}}),
+                 std::invalid_argument);
+    EXPECT_THROW(g.withEditedEdges(std::vector<Edge>{{0, 2}},
+                                   std::vector<Edge>{{2, 0}}),
+                 std::invalid_argument);
+}
+
 TEST(CsrGraph, ArcSourceInvertsRowLayout)
 {
     CsrGraph g = erdosRenyi(80, 4.0, 6);

@@ -324,9 +324,12 @@ replayStream(const CsrGraph &g0, const std::vector<Batch> &stream,
     r.islands = islandize(g0, cfg);
     for (size_t b = 0; b < stream.size(); ++b) {
         const Batch &batch = stream[b];
-        CsrGraph next = r.graph.withAddedEdges(batch.adds);
-        if (!batch.removes.empty())
-            next = next.withRemovedEdges(batch.removes);
+        // One merge sweep per batch: makeStream keeps adds/removes
+        // disjoint, exactly withEditedEdges' contract. The two-pass
+        // composition this replaced is differentially locked in by
+        // OnePassEditedEpochsMatchTwoPassComposition below.
+        CsrGraph next =
+            r.graph.withEditedEdges(batch.adds, batch.removes);
         IncrementalStats stats;
         r.islands = updateIslandization(next, r.islands, batch.adds,
                                         batch.removes, cfg, &stats);
@@ -407,6 +410,55 @@ TEST(FuzzIncremental, AddRemoveStreamsMatchFromScratchAtAllThreadCounts)
         }
     }
     setGlobalThreads(0);
+}
+
+TEST(FuzzIncremental, OnePassEditedEpochsMatchTwoPassComposition)
+{
+    // Differential lock for the one-pass epoch build: over the fuzz
+    // corpus, withEditedEdges(adds, removes) must produce the exact
+    // graph of the old two-pass withAddedEdges-then-withRemovedEdges
+    // composition after every batch, and feeding either graph chain
+    // through updateIslandization must give bit-identical partitions
+    // and incremental stats.
+    const int seeds = fuzzSeedsPerFamily();
+    LocatorConfig cfg;
+    for (const Family &family : kFamilies) {
+        for (int seed = 0; seed < seeds; ++seed) {
+            const std::string ctx = std::string(family.name) +
+                " seed " + std::to_string(seed) + " (one-pass)";
+            const CsrGraph g0 =
+                family.make(2000 + static_cast<uint64_t>(seed));
+            const std::vector<Batch> stream =
+                makeStream(g0, 31 * seed + 7, /*num_batches=*/5,
+                           /*events_per_batch=*/14, nullptr);
+
+            CsrGraph one = g0, two = g0;
+            IslandizationResult isl_one = islandize(g0, cfg);
+            IslandizationResult isl_two = isl_one;
+            for (size_t b = 0; b < stream.size(); ++b) {
+                const std::string bctx =
+                    ctx + " batch " + std::to_string(b);
+                const Batch &batch = stream[b];
+                one = one.withEditedEdges(batch.adds, batch.removes);
+                two = two.withAddedEdges(batch.adds);
+                if (!batch.removes.empty())
+                    two = two.withRemovedEdges(batch.removes);
+                ASSERT_EQ(one, two) << bctx;
+
+                IncrementalStats st_one, st_two;
+                isl_one = updateIslandization(one, isl_one,
+                                              batch.adds,
+                                              batch.removes, cfg,
+                                              &st_one);
+                isl_two = updateIslandization(two, isl_two,
+                                              batch.adds,
+                                              batch.removes, cfg,
+                                              &st_two);
+                expectIdenticalPartition(isl_one, isl_two, bctx);
+                EXPECT_EQ(st_one, st_two) << bctx;
+            }
+        }
+    }
 }
 
 TEST(FuzzIncremental, DeletionOnlyStreamDrainsToIsolatedGraph)

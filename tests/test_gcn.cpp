@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "gcn/layer.hpp"
 #include "gcn/reference.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
+#include "spmm/spmm.hpp"
 
 namespace igcn {
 namespace {
@@ -186,6 +190,65 @@ TEST(Reference, SparseFeaturesDeterministic)
     // Density lands near the request.
     double density = static_cast<double>(a.nnz()) / (500.0 * 1000.0);
     EXPECT_NEAR(density, 0.005, 0.002);
+}
+
+TEST(Reference, SparseFirstLayerForwardBitEqualsDense)
+{
+    // The tentpole equivalence at the model level: a forward pass
+    // whose first layer consumes CSR features must produce the SAME
+    // bytes as the dense pass on the densified image — gemm and
+    // sparseTimesDense accumulate each output element's non-zero
+    // terms in the same ascending-k order.
+    auto hi = hubAndIslandGraph({.numNodes = 300, .seed = 21});
+    Rng rng(19);
+    Features dense;
+    dense.dense = DenseMatrix(300, 64);
+    dense.dense.fillRandomSparse(rng, 0.01, 1.0f);
+    Features sparse;
+    sparse.sparse = true;
+    sparse.csr = denseToCsrFeatures(dense.dense);
+
+    ModelConfig mc;
+    mc.layers = {{64, 12}, {12, 4}};
+    auto weights = makeWeights(mc, rng);
+
+    DenseMatrix a = referenceForward(hi.graph, dense, weights);
+    DenseMatrix b = referenceForward(hi.graph, sparse, weights);
+    ASSERT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.data().size() * sizeof(float)),
+              0);
+
+    DenseMatrix fa = factoredForward(hi.graph, dense, weights);
+    DenseMatrix fb = factoredForward(hi.graph, sparse, weights);
+    EXPECT_EQ(std::memcmp(fa.data().data(), fb.data().data(),
+                          fa.data().size() * sizeof(float)),
+              0);
+}
+
+TEST(Layer, SubgraphForwardSparseOverloadBitEqualsDense)
+{
+    // The serving path's building block: the CsrFeatures overload of
+    // subgraphForward must be byte-equal to the dense overload on
+    // the densified image (and the dense overload itself is the
+    // unchanged pre-sparse operation sequence).
+    auto hi = hubAndIslandGraph({.numNodes = 250, .seed = 33});
+    Rng rng(23);
+    DenseMatrix x(250, 40);
+    x.fillRandomSparse(rng, 0.05, 1.0f);
+    CsrFeatures xs = denseToCsrFeatures(x);
+    std::vector<float> scale = degreeScaling(hi.graph);
+
+    ModelConfig mc;
+    mc.layers = {{40, 10}, {10, 3}};
+    auto weights = makeWeights(mc, rng);
+
+    DenseMatrix a = subgraphForward(hi.graph, scale, x, weights);
+    DenseMatrix b = subgraphForward(hi.graph, scale, xs, weights);
+    ASSERT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.data().size() * sizeof(float)),
+              0);
 }
 
 TEST(Reference, NoLayersThrows)

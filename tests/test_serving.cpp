@@ -31,6 +31,7 @@
 #include "runtime/thread_pool.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
+#include "spmm/spmm.hpp"
 
 namespace igcn {
 namespace {
@@ -189,6 +190,53 @@ TEST(ServingReplay, DeterministicAcrossThreadCounts)
         // determinism contract too.
         EXPECT_EQ(summaries[0], summaries[i]);
     }
+}
+
+TEST(ServingReplay, SparseFeaturesBitIdenticalToDenseAcrossThreads)
+{
+    // The acceptance criterion's serving half: a server holding
+    // 0.01-density CSR features must replay a mixed trace (updates
+    // included, so both the whole-graph and the gathered L-hop
+    // subgraph paths run) byte-identically to a server holding the
+    // densified image, at IGCN_THREADS 1, 4 and 8 and across batch
+    // caps that exercise single-node and large-batch scheduling.
+    Workload w = makeWorkload(800, 96, 12, 6, 2, 9);
+    Rng rng(51);
+    w.features.fillRandomSparse(rng, 0.01, 1.0f);
+    Features sparse;
+    sparse.sparse = true;
+    sparse.csr = denseToCsrFeatures(w.features);
+    ASSERT_LT(sparse.csr.density(), 0.05);
+
+    TraceConfig tc;
+    tc.numInference = 300;
+    tc.numUpdates = 30;
+    tc.seed = 8;
+    const std::vector<Request> trace =
+        makeSyntheticTrace(w.graph, tc);
+
+    for (uint32_t cap : {1u, 64u}) {
+        ServerConfig sc;
+        sc.scheduler.maxBatch = cap;
+        setGlobalThreads(1);
+        Server dense(w.graph, w.features, w.weights, sc);
+        const ReplaySignature want =
+            ReplaySignature::of(dense.runTrace(trace));
+        for (int threads : {1, 4, 8}) {
+            setGlobalThreads(threads);
+            Server server(w.graph, sparse, w.weights, sc);
+            ReplaySignature got =
+                ReplaySignature::of(server.runTrace(trace));
+            // map<.., vector<float>> equality is exact float
+            // equality: the sparse path must reproduce the dense
+            // bytes, not approximate them.
+            EXPECT_EQ(want.byId, got.byId)
+                << "cap " << cap << ", " << threads << " threads";
+            EXPECT_EQ(want.batchSizeById, got.batchSizeById);
+            EXPECT_EQ(want.updateEpochs, got.updateEpochs);
+        }
+    }
+    setGlobalThreads(0);
 }
 
 TEST(ServingReplay, PerRequestResultsInvariantAcrossBatchCaps)

@@ -58,14 +58,16 @@ usage()
         "            [--parallel] [--render FILE.pgm]\n"
         "  reorder   --in FILE --algo rabbit|dbg|hubsort|hubcluster|\n"
         "            dbg-hubsort|dbg-hubcluster --out FILE\n"
-        "  simulate  (--dataset cora|citeseer|pubmed|nell|reddit\n"
-        "            [--scale F] | --in FILE) [--model gcn|gs|gin]\n"
-        "            [--net algo|hy]\n"
+        "  simulate  (--dataset cora|citeseer|pubmed|nell|reddit|\n"
+        "            nell-small [--scale F] | --in FILE)\n"
+        "            [--model gcn|gs|gin] [--net algo|hy]\n"
         "            [--platform igcn|awb|hygcn|cpu|gpu|sigma]\n"
-        "  serve     --trace [--in FILE | --nodes N] [--requests R]\n"
+        "  serve     --trace [--dataset NAME [--scale F] |\n"
+        "            --in FILE | --nodes N] [--requests R]\n"
         "            [--updates U] [--remove-frac F] [--batch-cap B]\n"
         "            [--max-wait-us W] [--features F] [--hidden H]\n"
         "            [--classes C] [--cmax N] [--seed S]\n"
+        "            [--feature-density D] [--sparse-x]\n"
         "            [--pattern poisson|burst|diurnal]\n"
         "            [--zipf-alpha A] [--tenants T]\n"
         "            SLO mode (enables admission control + EDF):\n"
@@ -189,19 +191,24 @@ cmdReorder(const Args &args)
     throw std::runtime_error("unknown --algo " + name);
 }
 
+Dataset
+parseDatasetName(const std::string &name)
+{
+    if (name == "cora") return Dataset::Cora;
+    if (name == "citeseer") return Dataset::Citeseer;
+    if (name == "pubmed") return Dataset::Pubmed;
+    if (name == "nell") return Dataset::Nell;
+    if (name == "reddit") return Dataset::Reddit;
+    if (name == "nell-small") return Dataset::NellSmall;
+    throw std::runtime_error("unknown --dataset " + name);
+}
+
 int
 cmdSimulate(const Args &args)
 {
     DatasetGraph data;
     if (args.has("dataset")) {
-        const std::string name = args.get("dataset");
-        Dataset d;
-        if (name == "cora") d = Dataset::Cora;
-        else if (name == "citeseer") d = Dataset::Citeseer;
-        else if (name == "pubmed") d = Dataset::Pubmed;
-        else if (name == "nell") d = Dataset::Nell;
-        else if (name == "reddit") d = Dataset::Reddit;
-        else throw std::runtime_error("unknown --dataset " + name);
+        Dataset d = parseDatasetName(args.get("dataset"));
         data = buildDataset(d, args.getDouble("scale", 1.0));
     } else {
         CsrGraph g = loadGraphArg(args);
@@ -256,7 +263,20 @@ cmdServe(const Args &args)
             "serve currently requires --trace (synthetic replay)");
 
     CsrGraph g;
-    if (args.has("in")) {
+    int default_features = 32;
+    int default_classes = 8;
+    double default_density = 1.0;
+    if (args.has("dataset")) {
+        // e.g. --dataset nell-small serves the 0.01-density NELL
+        // surrogate with its published feature/class dimensions.
+        DatasetGraph data = buildDataset(
+            parseDatasetName(args.get("dataset")),
+            args.getDouble("scale", 1.0));
+        g = std::move(data.graph);
+        default_features = data.info.numFeatures;
+        default_classes = data.info.numClasses;
+        default_density = data.info.featureDensity;
+    } else if (args.has("in")) {
         g = loadGraphArg(args);
     } else {
         HubIslandParams params;
@@ -267,14 +287,26 @@ cmdServe(const Args &args)
     }
 
     const auto num_features =
-        static_cast<int>(args.getInt("features", 32));
+        static_cast<int>(args.getInt("features", default_features));
     const auto hidden = static_cast<int>(args.getInt("hidden", 16));
-    const auto classes = static_cast<int>(args.getInt("classes", 8));
+    const auto classes =
+        static_cast<int>(args.getInt("classes", default_classes));
     const auto seed = static_cast<uint64_t>(args.getInt("seed", 42));
 
+    // --feature-density below the makeFeatures threshold (or an
+    // explicit --sparse-x) serves CSR features end to end: the engine
+    // gathers sparse rows per micro-batch instead of densifying.
+    const double feature_density =
+        args.getDouble("feature-density", default_density);
+    // A named dataset at NELL-like density always serves CSR: the
+    // surrogate exists to exercise the sparse path, and NellSmall's
+    // cell count sits below makeFeatures' auto-sparse threshold.
+    const bool force_sparse =
+        args.has("sparse-x") ||
+        (args.has("dataset") && feature_density < 0.05);
     Rng rng(seed);
     Features x = makeFeatures(g.numNodes(), num_features,
-                              /*density=*/1.0, rng);
+                              feature_density, rng, force_sparse);
     ModelConfig mc;
     mc.name = "serve-gcn";
     mc.layers = {{num_features, hidden}, {hidden, classes}};
@@ -334,8 +366,12 @@ cmdServe(const Args &args)
                 sc.scheduler.maxBatch,
                 static_cast<unsigned long long>(
                     sc.scheduler.maxWaitUs));
+    std::printf("features: %s, %zu x %zu, %llu nnz, %.1f KiB\n",
+                x.sparse ? "csr" : "dense", x.rows(), x.cols(),
+                static_cast<unsigned long long>(x.nnz()),
+                static_cast<double>(x.storageBytes()) / 1024.0);
 
-    serve::Server server(std::move(g), std::move(x.dense),
+    serve::Server server(std::move(g), std::move(x),
                          std::move(weights), sc);
     const auto t0 = std::chrono::steady_clock::now();
     serve::ReplayReport rep = server.runTrace(std::move(trace));
