@@ -3,7 +3,7 @@
 namespace igcn {
 
 void
-fillEnergy(RunResult &result, const HwConfig &hw, double ops,
+fillEnergy(RunResult &result, const HwConfig & /*hw*/, double ops,
            double dram_bytes, const EnergyConfig &cfg)
 {
     const double latency_s = result.latencyUs * 1e-6;

@@ -72,6 +72,8 @@ asciiDensityPlot(const std::vector<double> &grid, int grid_size)
     out.reserve(static_cast<size_t>(grid_size) * (grid_size + 1));
     for (int r = 0; r < grid_size; ++r) {
         for (int c = 0; c < grid_size; ++c) {
+            // Serial plotting code, not a kernel reduction.
+            // igcn-lint: allow(no-mixed-accumulation)
             double v = grid[static_cast<size_t>(r) * grid_size + c];
             int level = v <= 0.0 ? 0
                       : v < 0.02 ? 1

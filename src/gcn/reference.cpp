@@ -42,6 +42,8 @@ makeFeatures(NodeId num_nodes, int num_features, double density, Rng &rng,
     CsrFeatures &m = f.csr;
     m.numRows = num_nodes;
     m.numCols = static_cast<NodeId>(num_features);
+    // `f` was default-constructed above, so the CSC cache behind this
+    // reference has never been built. igcn-lint: allow(csc-invalidate)
     m.rowPtr.assign(num_nodes + 1, 0);
     // Fixed nnz-per-row expectation keeps generation O(nnz) instead of
     // O(cells) for the huge sparse case.
@@ -59,8 +61,10 @@ makeFeatures(NodeId num_nodes, int num_features, double density, Rng &rng,
         std::sort(cols.begin(), cols.end());
         cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
         for (NodeId c : cols) {
+            // Fresh matrix, see above. igcn-lint: allow(csc-invalidate)
             m.colIdx.push_back(c);
             float val = rng.nextFloat(1.0f);
+            // igcn-lint: allow(csc-invalidate)
             m.values.push_back(val == 0.0f ? 0.5f : val);
         }
         m.rowPtr[v + 1] = m.colIdx.size();

@@ -118,6 +118,9 @@ mseLoss(const DenseMatrix &output, const DenseMatrix &target,
     if (grad_out)
         *grad_out = DenseMatrix(output.rows(), output.cols());
     for (size_t i = 0; i < output.data().size(); ++i) {
+        // Serial loss accumulation: a fixed summation order, so the
+        // widening is itself deterministic and the extra precision is
+        // wanted here. igcn-lint: allow(no-mixed-accumulation)
         const double diff = static_cast<double>(output.data()[i]) -
             target.data()[i];
         loss += diff * diff;

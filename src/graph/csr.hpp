@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/thread_annotations.hpp"
+
 namespace igcn {
 
 using NodeId = uint32_t;
@@ -78,7 +80,7 @@ class LazyAdjunct
         // must not serialize parallel traversals on the mutex.
         if (const T *p = built.load(std::memory_order_acquire))
             return *p;
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (!value) {
             value = std::make_unique<T>(build());
             built.store(value.get(), std::memory_order_release);
@@ -90,14 +92,18 @@ class LazyAdjunct
     void
     invalidate() const
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         built.store(nullptr, std::memory_order_release);
         value.reset();
     }
 
   private:
+    // Opted out of the thread-safety analysis: std::scoped_lock over
+    // two capabilities (deadlock-free by construction — moves are
+    // never concurrent with each other on the same pair) is beyond
+    // what the analysis models.
     void
-    stealFrom(LazyAdjunct &other)
+    stealFrom(LazyAdjunct &other) IGCN_NO_THREAD_SAFETY_ANALYSIS
     {
         std::scoped_lock lock(mutex, other.mutex);
         value = std::move(other.value);
@@ -105,9 +111,9 @@ class LazyAdjunct
         other.built.store(nullptr, std::memory_order_release);
     }
 
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     mutable std::atomic<const T *> built{nullptr};
-    mutable std::unique_ptr<T> value;
+    mutable std::unique_ptr<T> value IGCN_GUARDED_BY(mutex);
 };
 
 /**
@@ -147,7 +153,7 @@ class CsrGraph
      * @param symmetrize  if true, insert the reverse of every edge
      * @param keep_self_loops if false, drop (v, v) edges
      */
-    static CsrGraph fromEdges(NodeId num_nodes,
+    [[nodiscard]] static CsrGraph fromEdges(NodeId num_nodes,
                               const std::vector<Edge> &edges,
                               bool symmetrize = true,
                               bool keep_self_loops = false);
@@ -162,7 +168,7 @@ class CsrGraph
      *
      * @throws std::invalid_argument on any violation.
      */
-    static CsrGraph fromCsrArrays(std::vector<EdgeId> row_ptr,
+    [[nodiscard]] static CsrGraph fromCsrArrays(std::vector<EdgeId> row_ptr,
                                   std::vector<NodeId> col_idx);
 
     /**
@@ -174,7 +180,7 @@ class CsrGraph
      * edge-list rebuild — the steady-state mutation path of the
      * online serving subsystem.
      */
-    CsrGraph withAddedEdges(std::span<const Edge> added) const;
+    [[nodiscard]] CsrGraph withAddedEdges(std::span<const Edge> added) const;
 
     /**
      * Copy of this graph with undirected edges removed (both arcs; a
@@ -192,7 +198,7 @@ class CsrGraph
      * graph cannot pass unnoticed). Endpoints out of range throw
      * std::out_of_range.
      */
-    CsrGraph withRemovedEdges(std::span<const Edge> removed) const;
+    [[nodiscard]] CsrGraph withRemovedEdges(std::span<const Edge> removed) const;
 
     /**
      * Copy of this graph with `fresh` edges added and `stale` edges
@@ -211,7 +217,7 @@ class CsrGraph
      * before calling in. Endpoints out of range throw
      * std::out_of_range. O(E + k log k) for k edited edges.
      */
-    CsrGraph withEditedEdges(std::span<const Edge> fresh,
+    [[nodiscard]] CsrGraph withEditedEdges(std::span<const Edge> fresh,
                              std::span<const Edge> stale) const;
 
     /**
@@ -295,7 +301,7 @@ class CsrGraph
      * Relabel nodes: node v becomes position perm[v] in the new
      * graph (perm is a bijection on [0, numNodes)).
      */
-    CsrGraph permuted(const std::vector<NodeId> &perm) const;
+    [[nodiscard]] CsrGraph permuted(const std::vector<NodeId> &perm) const;
 
     /** Full directed edge list (u, v) in row order. */
     std::vector<Edge> toEdges() const;

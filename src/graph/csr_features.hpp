@@ -57,7 +57,7 @@ struct CsrFeatures
      * are strictly ascending and < num_cols.
      * @throws std::invalid_argument on any violation.
      */
-    static CsrFeatures fromArrays(NodeId num_rows,
+    [[nodiscard]] static CsrFeatures fromArrays(NodeId num_rows,
                                   NodeId num_cols,
                                   std::vector<EdgeId> row_ptr,
                                   std::vector<NodeId> col_idx,

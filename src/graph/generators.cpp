@@ -161,6 +161,8 @@ rmat(NodeId num_nodes, EdgeId num_edges, double a, double b, double c,
     for (EdgeId e = 0; e < num_edges; ++e) {
         NodeId u = 0, v = 0;
         for (int bit = 0; bit < scale; ++bit) {
+            // Seeded-Rng draw, not an accumulator; serial generator.
+            // igcn-lint: allow(no-mixed-accumulation)
             double r = rng.nextDouble();
             if (r < a) {
                 // upper-left quadrant: no bits set

@@ -139,6 +139,8 @@ savePgm(const std::vector<double> &grid, int width, int height,
         throw std::runtime_error("cannot open " + path + " for writing");
     out << "P5\n" << width << " " << height << "\n255\n";
     for (double v : grid) {
+        // Serial image writer, not a kernel reduction.
+        // igcn-lint: allow(no-mixed-accumulation)
         double clamped = std::clamp(v, 0.0, 1.0);
         auto pixel = static_cast<unsigned char>(
             std::lround(255.0 * (1.0 - clamped)));

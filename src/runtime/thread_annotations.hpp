@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Clang thread-safety annotations for the determinism contract's
+ * static wall (DESIGN.md section 7).
+ *
+ * The serving subsystem's concurrency story is small and explicit:
+ * every piece of shared mutable state is either (a) published through
+ * the GraphStateHub as an immutable epoch, (b) guarded by exactly one
+ * mutex, or (c) an atomic. Clang's `-Wthread-safety` analysis can
+ * machine-check (b) — a member annotated IGCN_GUARDED_BY(mu) cannot
+ * be read or written on a path that does not hold mu — but only if
+ * the lock type itself carries capability annotations, which
+ * libstdc++'s std::mutex does not. So this header provides both:
+ *
+ *  - the IGCN_* attribute macros (no-ops on non-clang compilers and
+ *    on clang without the attributes), and
+ *  - igcn::Mutex / igcn::MutexLock / igcn::CondVar — thin annotated
+ *    wrappers over std::mutex / lock_guard / condition_variable that
+ *    make acquisition visible to the analysis. They add no state and
+ *    no behavior; MutexLock is exactly lock_guard with a visible
+ *    capability, and CondVar::wait* run on the wrapped native mutex
+ *    via adopt-and-release so the wait semantics are untouched.
+ *
+ * Convention (enforced by the CI `thread-safety` job building with
+ * clang -Wthread-safety -Werror): mutex-protected members are
+ * declared IGCN_GUARDED_BY(theirMutex); functions that must be
+ * called with a lock held are IGCN_REQUIRES(mu); functions that
+ * would self-deadlock if called with the lock held are
+ * IGCN_EXCLUDES(mu). The few places the analysis cannot follow
+ * (multi-mutex std::scoped_lock ordering in LazyAdjunct::stealFrom)
+ * are opted out explicitly with IGCN_NO_THREAD_SAFETY_ANALYSIS and a
+ * comment giving the manual argument.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define IGCN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IGCN_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#define IGCN_CAPABILITY(x) IGCN_THREAD_ANNOTATION(capability(x))
+#define IGCN_SCOPED_CAPABILITY IGCN_THREAD_ANNOTATION(scoped_lockable)
+#define IGCN_GUARDED_BY(x) IGCN_THREAD_ANNOTATION(guarded_by(x))
+#define IGCN_PT_GUARDED_BY(x) IGCN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define IGCN_REQUIRES(...) \
+    IGCN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IGCN_ACQUIRE(...) \
+    IGCN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IGCN_RELEASE(...) \
+    IGCN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IGCN_TRY_ACQUIRE(...) \
+    IGCN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IGCN_EXCLUDES(...) \
+    IGCN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IGCN_RETURN_CAPABILITY(x) \
+    IGCN_THREAD_ANNOTATION(lock_returned(x))
+#define IGCN_NO_THREAD_SAFETY_ANALYSIS \
+    IGCN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace igcn {
+
+/**
+ * std::mutex with a visible capability. Drop-in: same lock/unlock/
+ * try_lock surface (usable with std::scoped_lock), plus native() for
+ * the rare callers that must hand the raw mutex to a std library
+ * facility (CondVar does this internally).
+ */
+class IGCN_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() IGCN_ACQUIRE() { m.lock(); }
+    void unlock() IGCN_RELEASE() { m.unlock(); }
+    bool try_lock() IGCN_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+    /** The wrapped std::mutex (for std facilities needing one). */
+    std::mutex &native() { return m; }
+
+  private:
+    std::mutex m;
+};
+
+/** RAII lock (std::lock_guard with a visible scoped capability). */
+class IGCN_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) IGCN_ACQUIRE(mu) : mu(mu)
+    {
+        mu.lock();
+    }
+    ~MutexLock() IGCN_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/**
+ * Condition variable usable with igcn::Mutex under the analysis: the
+ * caller holds mu (IGCN_REQUIRES), the wait adopts the already-held
+ * native mutex into a unique_lock for the duration of the underlying
+ * std wait (which unlocks and relocks it), then releases the
+ * unique_lock so ownership stays with the caller's MutexLock. The
+ * capability is held on entry and on exit, which is all the analysis
+ * tracks; the momentary release inside the std wait is the standard
+ * condition-variable contract.
+ */
+class CondVar
+{
+  public:
+    void notify_one() noexcept { cv.notify_one(); }
+    void notify_all() noexcept { cv.notify_all(); }
+
+    /** One wakeup; callers loop on their (guarded) predicate. */
+    void
+    wait(Mutex &mu) IGCN_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        cv.wait(lk);
+        lk.release();
+    }
+
+    template <typename Rep, typename Period>
+    std::cv_status
+    wait_for(Mutex &mu,
+             const std::chrono::duration<Rep, Period> &dur)
+        IGCN_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        const std::cv_status st = cv.wait_for(lk, dur);
+        lk.release();
+        return st;
+    }
+
+  private:
+    std::condition_variable cv;
+};
+
+} // namespace igcn

@@ -46,7 +46,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(stateMutex);
+        MutexLock lk(stateMutex);
         stopping = true;
     }
     wakeCv.notify_all();
@@ -60,6 +60,14 @@ ThreadPool::inParallelRegion()
     return t_in_parallel;
 }
 
+// Opted out of the thread-safety analysis: the job-slot reads
+// (jobBegin/jobEnd/jobFn) and the per-chunk jobErrors slot are
+// race-free via the generation handshake — parallelFor publishes the
+// slot under stateMutex before bumping generation, workers observe
+// the new generation under stateMutex before calling in, and
+// parallelFor does not reclaim the slot until chunksRemaining (also
+// stateMutex-guarded) reaches zero. Taking stateMutex here instead
+// would serialize every chunk body on one lock.
 void
 ThreadPool::runChunk(int chunk, int num_chunks)
 {
@@ -83,10 +91,9 @@ ThreadPool::workerLoop(int worker)
     for (;;) {
         int chunks;
         {
-            std::unique_lock<std::mutex> lk(stateMutex);
-            wakeCv.wait(lk, [&] {
-                return stopping || generation != seen;
-            });
+            MutexLock lk(stateMutex);
+            while (!stopping && generation == seen)
+                wakeCv.wait(stateMutex);
             if (stopping)
                 return;
             seen = generation;
@@ -94,7 +101,7 @@ ThreadPool::workerLoop(int worker)
         }
         runChunk(worker, chunks);
         {
-            std::lock_guard<std::mutex> lk(stateMutex);
+            MutexLock lk(stateMutex);
             if (--chunksRemaining == 0)
                 doneCv.notify_all();
         }
@@ -139,14 +146,14 @@ ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
         return;
     }
 
-    std::lock_guard<std::mutex> job(jobMutex);
-    jobFn = &fn;
-    jobBegin = begin;
-    jobEnd = end;
-    jobChunks = chunks;
-    std::fill(jobErrors.begin(), jobErrors.end(), nullptr);
+    MutexLock job(jobMutex);
     {
-        std::lock_guard<std::mutex> lk(stateMutex);
+        MutexLock lk(stateMutex);
+        jobFn = &fn;
+        jobBegin = begin;
+        jobEnd = end;
+        jobChunks = chunks;
+        std::fill(jobErrors.begin(), jobErrors.end(), nullptr);
         // All workers wake and re-park if their chunk id is out of
         // range; completion counts every worker so the job slot is
         // provably idle once doneCv fires.
@@ -157,16 +164,22 @@ ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
 
     runChunk(0, chunks); // caller is worker 0
 
-    {
-        std::unique_lock<std::mutex> lk(stateMutex);
-        doneCv.wait(lk, [&] { return chunksRemaining == 0; });
-    }
-    jobFn = nullptr;
-
     // Deterministic error selection: lowest worker index wins.
-    for (int w = 0; w < numWorkers; ++w)
-        if (jobErrors[w])
-            std::rethrow_exception(jobErrors[w]);
+    std::exception_ptr first_error;
+    {
+        MutexLock lk(stateMutex);
+        while (chunksRemaining != 0)
+            doneCv.wait(stateMutex);
+        jobFn = nullptr;
+        for (int w = 0; w < numWorkers; ++w) {
+            if (jobErrors[w]) {
+                first_error = jobErrors[w];
+                break;
+            }
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 namespace {

@@ -36,13 +36,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/thread_annotations.hpp"
 
 namespace igcn {
 
@@ -91,7 +92,8 @@ class ThreadPool
 
   private:
     void workerLoop(int worker);
-    void runChunk(int chunk, int num_chunks);
+    void runChunk(int chunk, int num_chunks)
+        IGCN_NO_THREAD_SAFETY_ANALYSIS;
 
     int numWorkers = 1;
     std::vector<std::thread> threads;
@@ -99,21 +101,25 @@ class ThreadPool
     // One job at a time: parallelFor holds jobMutex for its entire
     // duration, so concurrent callers from distinct external threads
     // serialize instead of corrupting the shared job slot.
-    std::mutex jobMutex;
+    Mutex jobMutex;
 
-    std::mutex stateMutex;
-    std::condition_variable wakeCv;
-    std::condition_variable doneCv;
-    uint64_t generation = 0;
-    int chunksRemaining = 0;
-    bool stopping = false;
+    Mutex stateMutex;
+    CondVar wakeCv;
+    CondVar doneCv;
+    uint64_t generation IGCN_GUARDED_BY(stateMutex) = 0;
+    int chunksRemaining IGCN_GUARDED_BY(stateMutex) = 0;
+    bool stopping IGCN_GUARDED_BY(stateMutex) = false;
 
-    // Current job (valid while chunksRemaining > 0).
-    const RangeFn *jobFn = nullptr;
-    size_t jobBegin = 0;
-    size_t jobEnd = 0;
-    int jobChunks = 0;
-    std::vector<std::exception_ptr> jobErrors;
+    // Current job. Written under stateMutex by parallelFor before the
+    // generation bump; workers' lock-free reads in runChunk are
+    // ordered by the generation/chunksRemaining handshake (runChunk
+    // opts out of the analysis for exactly those reads).
+    const RangeFn *jobFn IGCN_GUARDED_BY(stateMutex) = nullptr;
+    size_t jobBegin IGCN_GUARDED_BY(stateMutex) = 0;
+    size_t jobEnd IGCN_GUARDED_BY(stateMutex) = 0;
+    int jobChunks IGCN_GUARDED_BY(stateMutex) = 0;
+    std::vector<std::exception_ptr> jobErrors
+        IGCN_GUARDED_BY(stateMutex);
 };
 
 /**

@@ -30,7 +30,7 @@ GraphStateHub::GraphStateHub(std::shared_ptr<const GraphState> initial)
 std::shared_ptr<const GraphState>
 GraphStateHub::acquire() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return current;
 }
 
@@ -39,7 +39,7 @@ GraphStateHub::publish(std::shared_ptr<const GraphState> next)
 {
     if (!next)
         throw std::invalid_argument("GraphStateHub: null state");
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (next->epoch <= current->epoch)
         throw std::invalid_argument(
             "GraphStateHub: epoch must advance");
@@ -49,7 +49,7 @@ GraphStateHub::publish(std::shared_ptr<const GraphState> next)
 uint64_t
 GraphStateHub::currentEpoch() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return current->epoch;
 }
 

@@ -17,12 +17,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 
 #include "core/locator.hpp"
 #include "gcn/layer.hpp"
 #include "gcn/reference.hpp"
+#include "runtime/thread_annotations.hpp"
 #include "serve/request.hpp"
 #include "spmm/dense.hpp"
 
@@ -59,8 +59,8 @@ class GraphStateHub
     uint64_t currentEpoch() const;
 
   private:
-    mutable std::mutex mutex;
-    std::shared_ptr<const GraphState> current;
+    mutable Mutex mutex;
+    std::shared_ptr<const GraphState> current IGCN_GUARDED_BY(mutex);
 };
 
 /** Execution record of one inference micro-batch. */

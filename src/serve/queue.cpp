@@ -8,7 +8,7 @@ void
 RequestQueue::push(Request r)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         items.push_back(std::move(r));
     }
     cv.notify_all();
@@ -18,7 +18,7 @@ void
 RequestQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         isClosed = true;
     }
     cv.notify_all();
@@ -27,21 +27,21 @@ RequestQueue::close()
 bool
 RequestQueue::closed() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return isClosed;
 }
 
 size_t
 RequestQueue::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return items.size();
 }
 
 bool
 RequestQueue::tryPop(Request &out)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (items.empty())
         return false;
     out = std::move(items.front());
@@ -52,8 +52,9 @@ RequestQueue::tryPop(Request &out)
 RequestQueue::Pop
 RequestQueue::popHead(Request &out)
 {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return !items.empty() || isClosed; });
+    MutexLock lock(mutex);
+    while (items.empty() && !isClosed)
+        cv.wait(mutex);
     if (items.empty())
         return Pop::Closed;
     out = std::move(items.front());
@@ -64,7 +65,7 @@ RequestQueue::popHead(Request &out)
 bool
 RequestQueue::peekHeadArrival(uint64_t &arrival_us) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (items.empty())
         return false;
     arrival_us = items.front().arrivalUs;
@@ -75,7 +76,7 @@ RequestQueue::Pop
 RequestQueue::popKindBefore(RequestKind kind, uint64_t deadline_us,
                             bool wait, const NowFn &now_us, Request &out)
 {
-    std::unique_lock<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     for (;;) {
         if (!items.empty()) {
             const Request &head = items.front();
@@ -92,7 +93,7 @@ RequestQueue::popKindBefore(RequestKind kind, uint64_t deadline_us,
         const uint64_t now = now_us();
         if (now >= deadline_us)
             return Pop::NotReady;
-        cv.wait_for(lock,
+        cv.wait_for(mutex,
                     std::chrono::microseconds(deadline_us - now));
     }
 }

@@ -21,14 +21,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "runtime/thread_annotations.hpp"
 #include "serve/request.hpp"
 
 namespace igcn::serve {
@@ -88,10 +87,10 @@ class RequestQueue
     bool peekHeadArrival(uint64_t &arrival_us) const;
 
   private:
-    mutable std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Request> items;
-    bool isClosed = false;
+    mutable Mutex mutex;
+    CondVar cv;
+    std::deque<Request> items IGCN_GUARDED_BY(mutex);
+    bool isClosed IGCN_GUARDED_BY(mutex) = false;
 };
 
 /**

@@ -285,11 +285,16 @@ Server::start()
     clockOrigin = std::chrono::steady_clock::now();
     report = ReplayReport{};
     statsAcc = ServerStats{};
-    liveAdmission = AdmissionController(cfg.slo);
-    waitingCount = 0;
-    liveMaxDepth = 0;
-    liveAdmittedTenants.clear();
-    liveRejections.clear();
+    {
+        MutexLock lock(submitMutex);
+        liveAdmission = AdmissionController(cfg.slo);
+        waitingCount = 0;
+        liveMaxDepth = 0;
+        liveAdmittedTenants.clear();
+        liveRejections.clear();
+    }
+    // Service thread, see server.hpp.
+    // igcn-lint: allow(no-thread-outside-runtime)
     schedulerThread = std::thread([this] {
         if (cfg.slo.enabled)
             realTimeLoopSlo();
@@ -301,7 +306,7 @@ Server::start()
 ServeResult
 Server::submitRequest(Request r)
 {
-    std::lock_guard<std::mutex> lock(submitMutex);
+    MutexLock lock(submitMutex);
     r.id = nextId.fetch_add(1);
     r.arrivalUs = nowUs();
     if (r.deadlineUs != 0)
@@ -366,6 +371,7 @@ Server::stop()
     running = false;
     // Merge submit-side admission accounting now that the scheduler
     // thread is done with statsAcc / report.
+    MutexLock lock(submitMutex);
     for (uint32_t tenant : liveAdmittedTenants)
         statsAcc.recordAdmission(tenant);
     for (const Rejection &rej : liveRejections) {

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <thread>
 
+#include "runtime/thread_annotations.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/stats.hpp"
@@ -122,11 +123,11 @@ class Server
      * Overloaded) and never enqueued. Throws std::logic_error only
      * for API misuse (server not running).
      */
-    ServeResult submitInference(NodeId node,
+    [[nodiscard]] ServeResult submitInference(NodeId node,
                                 const SubmitOptions &opts = {});
     /** Submit a live edge-mutation request (additions and/or
      *  deletions); same typed-result contract as submitInference. */
-    ServeResult submitUpdate(std::vector<Edge> added,
+    [[nodiscard]] ServeResult submitUpdate(std::vector<Edge> added,
                              std::vector<Edge> removed = {},
                              const SubmitOptions &opts = {});
     /** Close the queue, drain it, join the thread, return results. */
@@ -145,7 +146,7 @@ class Server
                            uint64_t &busy_until_us);
     void realTimeLoopFcfs();
     void realTimeLoopSlo();
-    ServeResult submitRequest(Request r);
+    [[nodiscard]] ServeResult submitRequest(Request r);
     uint64_t nowUs() const;
 
     ServerConfig cfg;
@@ -157,22 +158,28 @@ class Server
 
     // Real-time mode state.
     RequestQueue liveQueue;
+    // The scheduler is a long-lived service thread, not data
+    // parallelism — the pool still runs every kernel underneath.
+    // igcn-lint: allow(no-thread-outside-runtime)
     std::thread schedulerThread;
     std::atomic<uint64_t> nextId{0};
     std::chrono::steady_clock::time_point clockOrigin;
-    bool running = false;
+    std::atomic<bool> running{false};
 
     // Real-time admission state. Admission decisions happen on
     // submitter threads while the scheduler thread owns statsAcc /
     // report, so submit-side decisions are buffered under
     // submitMutex and merged into the stats after the scheduler
-    // thread joins in stop().
-    std::mutex submitMutex;
-    AdmissionController liveAdmission{SloConfig{}};
+    // thread joins in stop() (which takes submitMutex for the merge,
+    // uncontended by then).
+    Mutex submitMutex;
+    AdmissionController liveAdmission IGCN_GUARDED_BY(submitMutex){
+        SloConfig{}};
     std::atomic<size_t> waitingCount{0};
-    uint64_t liveMaxDepth = 0;
-    std::vector<uint32_t> liveAdmittedTenants;
-    std::vector<Rejection> liveRejections;
+    uint64_t liveMaxDepth IGCN_GUARDED_BY(submitMutex) = 0;
+    std::vector<uint32_t> liveAdmittedTenants
+        IGCN_GUARDED_BY(submitMutex);
+    std::vector<Rejection> liveRejections IGCN_GUARDED_BY(submitMutex);
 };
 
 } // namespace igcn::serve

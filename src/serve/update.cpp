@@ -18,7 +18,7 @@ UpdateApplier::apply(std::span<const Request> batch)
 {
     if (batch.empty())
         throw std::invalid_argument("apply: empty update batch");
-    std::lock_guard<std::mutex> writer(writerMutex);
+    MutexLock writer(writerMutex);
     const std::shared_ptr<const GraphState> cur = hub->acquire();
     const NodeId n = cur->graph.numNodes();
 

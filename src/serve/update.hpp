@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include "runtime/thread_annotations.hpp"
 #include "serve/engine.hpp"
 
 namespace igcn::serve {
@@ -39,12 +40,13 @@ class UpdateApplier
      * Updates). Thread-safe: concurrent callers serialize so epochs
      * advance one at a time.
      */
-    UpdateResult apply(std::span<const Request> batch);
+    UpdateResult apply(std::span<const Request> batch)
+        IGCN_EXCLUDES(writerMutex);
 
   private:
     std::shared_ptr<GraphStateHub> hub;
     LocatorConfig locator;
-    std::mutex writerMutex;
+    Mutex writerMutex;
 };
 
 } // namespace igcn::serve

@@ -48,7 +48,7 @@ struct CsrMatrix
     EdgeId nnz() const { return colIdx.size(); }
 
     /** Unweighted adjacency (all values 1) from a graph. */
-    static CsrMatrix fromGraph(const CsrGraph &g);
+    [[nodiscard]] static CsrMatrix fromGraph(const CsrGraph &g);
 
     /** Dense copy, for verification on small matrices only. */
     DenseMatrix toDense() const;

@@ -1,0 +1,18 @@
+// Mutating a CsrMatrix that arrived by reference without dropping
+// the cached CSC adjunct: classic stale-transpose bug.
+#include "spmm/spmm.hpp"
+
+void
+scaleInPlace(igcn::CsrMatrix &mat, float s)
+{
+    for (float &v : mat.values)
+        v *= s;
+    mat.values.push_back(s);
+}
+
+void
+rewriteRow(igcn::CsrMatrix &mat)
+{
+    mat.colIdx.resize(0);
+    mat.rowPtr = {0};
+}

@@ -1,0 +1,22 @@
+// Two legitimate shapes: mutate-then-invalidate, and assembling a
+// value-declared fresh local whose cache was never populated.
+#include "spmm/spmm.hpp"
+
+void
+scaleInPlace(igcn::CsrMatrix &mat, float s)
+{
+    for (float &v : mat.values)
+        v *= s;
+    mat.values.push_back(s);
+    mat.invalidateCsc();
+}
+
+igcn::CsrMatrix
+assemble()
+{
+    igcn::CsrMatrix fresh;
+    fresh.rowPtr = {0, 1};
+    fresh.colIdx.push_back(0);
+    fresh.values.push_back(1.0f);
+    return fresh;
+}

@@ -1,0 +1,9 @@
+#include "spmm/spmm.hpp"
+
+void
+patchValues(igcn::CsrMatrix &mat, float s)
+{
+    // Caller invalidates once after a batch of patches.
+    // igcn-lint: allow(csc-invalidate)
+    mat.values.push_back(s);
+}

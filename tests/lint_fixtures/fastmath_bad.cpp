@@ -1,0 +1,8 @@
+#pragma GCC optimize("Ofast")
+#pragma STDC FP_CONTRACT ON
+
+float
+fused(float a, float b, float c)
+{
+    return a * b + c;
+}

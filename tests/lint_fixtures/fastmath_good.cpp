@@ -1,0 +1,9 @@
+// No float-relaxing pragmas; plain IEEE arithmetic.
+#pragma once
+
+float
+unfused(float a, float b, float c)
+{
+    const float p = a * b;
+    return p + c;
+}

@@ -1,0 +1,9 @@
+// Non-kernel translation unit; reviewed exception.
+// igcn-lint: allow(no-fast-math)
+#pragma GCC optimize("Ofast")
+
+int
+hot(int x)
+{
+    return x * 2;
+}

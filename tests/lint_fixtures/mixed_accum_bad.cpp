@@ -1,0 +1,13 @@
+// igcn-lint: deterministic
+#include <cstddef>
+
+float
+sumWidened(const float *xs, size_t n)
+{
+    float total = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+        double widened = static_cast<double>(xs[i]);
+        total += static_cast<float>(widened);
+    }
+    return total;
+}

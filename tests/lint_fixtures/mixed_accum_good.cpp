@@ -1,0 +1,17 @@
+// igcn-lint: deterministic
+// Float stays float inside kernel loops; doubles declared outside any
+// loop (configuration, thresholds) are fine.
+#include <cstddef>
+
+double threshold_default = 0.5;
+
+float
+sumFloat(const float *xs, size_t n)
+{
+    const double scale = 2.0;
+    float total = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+        total += xs[i];
+    }
+    return total * static_cast<float>(scale);
+}

@@ -1,0 +1,15 @@
+// igcn-lint: deterministic
+#include <cstddef>
+
+double
+serialMean(const float *xs, size_t n)
+{
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        // Serial, fixed summation order: deterministic by
+        // construction. igcn-lint: allow(no-mixed-accumulation)
+        double x = static_cast<double>(xs[i]);
+        total += x;
+    }
+    return n ? total / static_cast<double>(n) : 0.0;
+}

@@ -1,0 +1,18 @@
+// igcn-lint: deterministic
+// Every libc / std randomness source must be flagged.
+#include <cstdlib>
+#include <random>
+
+int
+unseeded()
+{
+    srand(42);
+    return rand();
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device dev;
+    return dev();
+}

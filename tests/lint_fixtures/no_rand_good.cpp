@@ -1,0 +1,19 @@
+// igcn-lint: deterministic
+// Near-misses: the seeded Rng, and identifiers *containing* "rand".
+#include "graph/rng.hpp"
+
+float
+seeded(igcn::Rng &rng)
+{
+    return rng.nextFloat(1.0f);
+}
+
+int
+wordBoundaryTraps(int operand)
+{
+    auto strand = [](int x) { return x + 1; };
+    auto myrand = [](int x) { return x * 2; };
+    // "rand()" inside a string or comment is not code: rand()
+    const char *doc = "call rand() never";
+    return strand(operand) + myrand(operand) + (doc ? 1 : 0);
+}

@@ -1,0 +1,11 @@
+// igcn-lint: deterministic
+#include <cstdlib>
+
+int
+blessed()
+{
+    // Seeding a legacy third-party hook, reviewed.
+    // igcn-lint: allow(no-rand)
+    srand(42);
+    return rand(); // igcn-lint: allow(no-rand)
+}

@@ -1,0 +1,10 @@
+// igcn-lint: deterministic
+#include <chrono>
+
+uint64_t
+stampFromWallClock()
+{
+    const auto now = std::chrono::system_clock::now();
+    return static_cast<uint64_t>(
+        now.time_since_epoch().count());
+}

@@ -1,0 +1,11 @@
+// igcn-lint: deterministic
+// steady_clock is the real-time-mode stamp source and is allowed.
+#include <chrono>
+
+uint64_t
+stampFromSteadyClock()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        now.time_since_epoch().count());
+}

@@ -1,0 +1,12 @@
+// igcn-lint: deterministic
+#include <chrono>
+
+uint64_t
+logTimestamp()
+{
+    // Human-readable log header only; never feeds replay state.
+    // igcn-lint: allow(no-wallclock)
+    const auto now = std::chrono::system_clock::now();
+    return static_cast<uint64_t>(
+        now.time_since_epoch().count());
+}

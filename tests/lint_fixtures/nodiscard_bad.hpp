@@ -1,0 +1,15 @@
+// Factory/builder declarations missing [[nodiscard]].
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace fixture {
+
+struct Builder
+{
+    static igcn::CsrGraph fromEdgeList(int n);
+    igcn::CsrGraph withExtraEdges(int m) const;
+    int submitBatch(int count);
+};
+
+} // namespace fixture

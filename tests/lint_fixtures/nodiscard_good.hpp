@@ -1,0 +1,24 @@
+// Marked declarations ([[nodiscard]] on the same or previous line)
+// and call sites, none of which may be flagged.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace fixture {
+
+struct Builder
+{
+    [[nodiscard]] static igcn::CsrGraph fromEdgeList(int n);
+    [[nodiscard]]
+    igcn::CsrGraph withExtraEdges(int m) const;
+};
+
+inline igcn::CsrGraph
+callSitesOnly(const Builder &b)
+{
+    auto g = Builder::fromEdgeList(4);
+    auto g2 = b.withExtraEdges(2);
+    return g2.numEdges() > g.numEdges() ? g2 : g;
+}
+
+} // namespace fixture

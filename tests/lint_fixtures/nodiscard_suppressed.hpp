@@ -1,0 +1,14 @@
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace fixture {
+
+struct Builder
+{
+    // Fire-and-forget by design; result is advisory.
+    // igcn-lint: allow(nodiscard-factory)
+    int submitTelemetry(int count);
+};
+
+} // namespace fixture

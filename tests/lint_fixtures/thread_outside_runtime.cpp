@@ -1,0 +1,10 @@
+// Linted twice by the tests: flagged under src/serve/, clean under
+// src/runtime/ — the rule is purely path-scoped.
+#include <thread>
+
+void
+spawnWorker()
+{
+    std::thread worker([] {});
+    worker.join();
+}

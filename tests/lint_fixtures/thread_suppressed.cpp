@@ -1,0 +1,10 @@
+#include <thread>
+
+void
+spawnServiceThread()
+{
+    // Long-lived service thread, not data parallelism.
+    // igcn-lint: allow(no-thread-outside-runtime)
+    std::thread service([] {});
+    service.join();
+}

@@ -1,0 +1,17 @@
+// igcn-lint: deterministic
+#include <unordered_map>
+#include <unordered_set>
+
+int
+hashOrderLeaks()
+{
+    std::unordered_map<int, int> counts;
+    std::unordered_set<int> seen;
+    counts[3] = 1;
+    int sum = 0;
+    for (const auto &kv : counts)
+        sum += kv.second;
+    for (auto it = seen.begin(); it != seen.end(); ++it)
+        sum += *it;
+    return sum;
+}

