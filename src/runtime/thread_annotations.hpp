@@ -127,8 +127,8 @@ class CondVar
     wait(Mutex &mu) IGCN_REQUIRES(mu)
     {
         std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        const Releaser rel{lk};
         cv.wait(lk);
-        lk.release();
     }
 
     template <typename Rep, typename Period>
@@ -138,12 +138,22 @@ class CondVar
         IGCN_REQUIRES(mu)
     {
         std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
-        const std::cv_status st = cv.wait_for(lk, dur);
-        lk.release();
-        return st;
+        const Releaser rel{lk};
+        return cv.wait_for(lk, dur);
     }
 
   private:
+    // The std wait reacquires the mutex before returning *or*
+    // throwing, so the adopted unique_lock must be release()d on
+    // every exit path — if it ever unlocked in its destructor, the
+    // caller's MutexLock would unlock the same std::mutex a second
+    // time (undefined behavior).
+    struct Releaser
+    {
+        std::unique_lock<std::mutex> &lk;
+        ~Releaser() { lk.release(); }
+    };
+
     std::condition_variable cv;
 };
 

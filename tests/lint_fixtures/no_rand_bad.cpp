@@ -10,6 +10,13 @@ unseeded()
     return rand();
 }
 
+int
+unseededQualified()
+{
+    std::srand(42);
+    return std::rand();
+}
+
 unsigned
 hardwareEntropy()
 {

@@ -72,13 +72,17 @@ TEST(LintNoRand, FlagsEveryRandomnessSourceWithExactMessages)
     const std::string msg =
         "non-deterministic randomness in a deterministic scope; "
         "draw from the seeded igcn::Rng instead";
-    ASSERT_EQ(diags.size(), 3u);
+    ASSERT_EQ(diags.size(), 5u);
     EXPECT_EQ(diags[0].str(),
               "src/spmm/fixture.cpp:9: [no-rand] " + msg);
     EXPECT_EQ(diags[1].str(),
               "src/spmm/fixture.cpp:10: [no-rand] " + msg);
     EXPECT_EQ(diags[2].str(),
               "src/spmm/fixture.cpp:16: [no-rand] " + msg);
+    EXPECT_EQ(diags[3].str(),
+              "src/spmm/fixture.cpp:17: [no-rand] " + msg);
+    EXPECT_EQ(diags[4].str(),
+              "src/spmm/fixture.cpp:23: [no-rand] " + msg);
 }
 
 TEST(LintNoRand, ScopedByPathEvenWithoutTag)

@@ -287,7 +287,7 @@ lintText(const std::string &rel_path, const std::string &text)
 
     // --- per-line regex rules -------------------------------------
     static const std::regex re_rand(
-        R"((^|[^\w:])(rand|srand)\s*\(|std::random_device)");
+        R"((^|[^\w])((?:std::)?s?rand)\s*\(|std::random_device)");
     static const std::regex re_wallclock(R"(system_clock)");
     static const std::regex re_thread(R"(std::thread\b)");
     static const std::regex re_fastmath(
