@@ -35,6 +35,7 @@
 #include "accel/igcn_model.hpp"
 #include "core/locator.hpp"
 #include "graph/datasets.hpp"
+#include "obs/json_writer.hpp"
 
 namespace igcn::bench {
 
@@ -74,164 +75,10 @@ bundleFor(Dataset d)
 }
 
 /**
- * Minimal streaming JSON emitter for machine-readable bench results
- * (BENCH_*.json files). Stack-based begin/end API with automatic
- * comma placement; strings are escaped, doubles printed with enough
- * digits to round-trip. Shared by every bench that emits JSON.
+ * JsonWriter moved to src/obs/json_writer.hpp (the observability
+ * exporters share it); this alias keeps the bench spelling.
  */
-class JsonWriter
-{
-  public:
-    JsonWriter &
-    beginObject()
-    {
-        comma();
-        out += '{';
-        first = true;
-        return *this;
-    }
-
-    JsonWriter &
-    endObject()
-    {
-        out += '}';
-        first = false;
-        return *this;
-    }
-
-    JsonWriter &
-    beginArray()
-    {
-        comma();
-        out += '[';
-        first = true;
-        return *this;
-    }
-
-    JsonWriter &
-    endArray()
-    {
-        out += ']';
-        first = false;
-        return *this;
-    }
-
-    JsonWriter &
-    key(const std::string &k)
-    {
-        comma();
-        appendString(k);
-        out += ':';
-        first = true; // suppress comma before the value
-        return *this;
-    }
-
-    JsonWriter &
-    value(const std::string &v)
-    {
-        comma();
-        appendString(v);
-        return *this;
-    }
-
-    JsonWriter &
-    value(const char *v)
-    {
-        return value(std::string(v));
-    }
-
-    JsonWriter &
-    value(double v)
-    {
-        comma();
-        // JSON has no inf/nan literal; degenerate measurements (e.g.
-        // a zero-time denominator making a speedup ratio inf on a
-        // 1-core container) become null so the document always
-        // parses.
-        if (!std::isfinite(v)) {
-            out += "null";
-            return *this;
-        }
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        out += buf;
-        return *this;
-    }
-
-    JsonWriter &
-    value(uint64_t v)
-    {
-        comma();
-        out += std::to_string(v);
-        return *this;
-    }
-
-    JsonWriter &
-    value(int v)
-    {
-        comma();
-        out += std::to_string(v);
-        return *this;
-    }
-
-    JsonWriter &
-    value(bool v)
-    {
-        comma();
-        out += v ? "true" : "false";
-        return *this;
-    }
-
-    const std::string &str() const { return out; }
-
-    /** Write the document to path; returns false on I/O failure. */
-    bool
-    writeFile(const std::string &path) const
-    {
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (!f)
-            return false;
-        const size_t n =
-            std::fwrite(out.data(), 1, out.size(), f);
-        const bool ok = n == out.size() && std::fputc('\n', f) != EOF;
-        return std::fclose(f) == 0 && ok;
-    }
-
-  private:
-    void
-    comma()
-    {
-        if (!first)
-            out += ',';
-        first = false;
-    }
-
-    void
-    appendString(const std::string &s)
-    {
-        out += '"';
-        for (char c : s) {
-            switch (c) {
-              case '"': out += "\\\""; break;
-              case '\\': out += "\\\\"; break;
-              case '\n': out += "\\n"; break;
-              case '\t': out += "\\t"; break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-            }
-        }
-        out += '"';
-    }
-
-    std::string out;
-    bool first = true;
-};
+using JsonWriter = igcn::obs::JsonWriter;
 
 /**
  * Process peak resident set size (memory high-water mark) in KiB, 0

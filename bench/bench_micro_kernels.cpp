@@ -24,6 +24,7 @@
 #include "core/redundancy.hpp"
 #include "gcn/reference.hpp"
 #include "graph/generators.hpp"
+#include "obs/runtime.hpp"
 #include "runtime/thread_pool.hpp"
 #include "spmm/spmm.hpp"
 
@@ -284,4 +285,27 @@ BENCHMARK(BM_BuildIslandBitmap);
 } // namespace
 } // namespace igcn
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): the whole run executes
+ * under the pool's observer hook, and the per-kernel wall/busy
+ * totals (SpMM dataflows, gathers, islandization — every labeled
+ * parallelFor region) print as one table after the benchmark report.
+ */
+int
+main(int argc, char **argv)
+{
+    igcn::obs::enableRuntimeProfiling();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    igcn::obs::disableRuntimeProfiling();
+
+    const std::string table =
+        igcn::obs::kernelTimingReport(igcn::obs::runtimeRegistry());
+    if (!table.empty())
+        std::printf("\nper-kernel timing (pool observer totals)\n%s",
+                    table.c_str());
+    return 0;
+}

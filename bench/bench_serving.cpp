@@ -19,9 +19,11 @@
  * Writes BENCH_serving.json (JsonWriter; CI parses it as a gate).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -422,6 +424,76 @@ main(int argc, char **argv)
         json.endArray(); // slo configs
         json.endObject(); // slo
         std::printf("\n");
+    }
+
+    // --- observability overhead: tracing off vs on ----------------
+    // The same trace replayed through identical servers, the only
+    // difference being cfg.obs.traceEnabled. Best-of-3 wall time per
+    // arm absorbs scheduler noise. CI gates overhead_pct < 5: span
+    // recording must stay a rounding error next to the kernels.
+    {
+        DatasetGraph data =
+            buildDataset(Dataset::Cora, datasetScale(Dataset::Cora));
+        Rng rng(7);
+        Features x = makeFeatures(data.graph.numNodes(),
+                                  data.info.numFeatures,
+                                  data.info.featureDensity, rng);
+        ModelConfig mc =
+            modelConfig(Model::GCN, NetConfig::Algo, data.info);
+        std::vector<DenseMatrix> weights = makeWeights(mc, rng);
+
+        serve::TraceConfig tc;
+        tc.numInference = quick ? 1500 : 6000;
+        tc.numUpdates = tc.numInference / 20;
+        tc.seed = 11;
+        const std::vector<serve::Request> trace =
+            serve::makeSyntheticTrace(data.graph, tc);
+
+        auto best_of_3 = [&](bool traced) {
+            double best_s = 1e30;
+            uint64_t events = 0;
+            for (int rep = 0; rep < 3; ++rep) {
+                serve::ServerConfig sc;
+                sc.scheduler.maxBatch = 32;
+                sc.obs.traceEnabled = traced;
+                serve::Server server(data.graph, x, weights, sc);
+                const auto t0 = std::chrono::steady_clock::now();
+                serve::ReplayReport r = server.runTrace(trace);
+                const double wall_s =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                best_s = std::min(best_s, wall_s);
+                events = server.traceRecorder().size();
+                if (r.inference.size() != tc.numInference)
+                    std::printf("WARNING: short replay\n");
+            }
+            return std::pair<double, uint64_t>(
+                static_cast<double>(tc.numInference) / best_s,
+                events);
+        };
+
+        const auto [rps_off, ev_off] = best_of_3(false);
+        const auto [rps_on, ev_on] = best_of_3(true);
+        (void)ev_off;
+        const double overhead_pct =
+            rps_on > 0.0 ? (rps_off / rps_on - 1.0) * 100.0 : 0.0;
+
+        std::printf("obs overhead: cora replay (%llu requests)\n",
+                    static_cast<unsigned long long>(tc.numInference));
+        std::printf("  tracing off: %9.0f rps | tracing on: %9.0f "
+                    "rps (%llu events) | overhead %+.2f%%\n\n",
+                    rps_off, rps_on,
+                    static_cast<unsigned long long>(ev_on),
+                    overhead_pct);
+
+        json.key("obs_overhead").beginObject();
+        json.key("requests").value(tc.numInference);
+        json.key("wall_rps_trace_off").value(rps_off);
+        json.key("wall_rps_trace_on").value(rps_on);
+        json.key("trace_events").value(ev_on);
+        json.key("overhead_pct").value(overhead_pct);
+        json.endObject(); // obs_overhead
     }
     json.endObject();
 

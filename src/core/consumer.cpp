@@ -143,6 +143,7 @@ aggregateViaIslands(const CsrGraph &g, const IslandizationResult &isl,
 
     ThreadPool &pool = globalPool();
     const size_t num_hubs = hub_ids.size();
+    KernelRegion region("island_aggregate");
 
     // Islands are embarrassingly parallel apart from hub rows:
     // static-shard them across workers via the runtime's deterministic

@@ -467,6 +467,7 @@ islandize(const CsrGraph &g, const LocatorConfig &cfg)
             std::vector<NodeId> hubs;
             std::vector<NodeId> remaining;
         };
+        KernelRegion hub_detect_region("hub_detect");
         std::vector<HubDetectAcc> dets = parallelAccumulate(
             pool, 0, node_list.size(), HubDetectAcc{},
             [&](HubDetectAcc &acc, int, size_t lo, size_t hi) {
@@ -496,6 +497,9 @@ islandize(const CsrGraph &g, const LocatorConfig &cfg)
         node_list = std::move(remaining);
 
         // --- Th2 + Th3: task_assign (Alg. 3) + TP-BFS (Alg. 4) ----
+        // Innermost label wins, so this re-labels the rest of the
+        // round away from hub_detect_region above.
+        KernelRegion tpbfs_region("tpbfs_explore");
         if (cfg.parallelEngines) {
             // P2 concurrent engines, round-robin interleaved.
             std::deque<std::pair<NodeId, NodeId>> tasks;

@@ -19,6 +19,7 @@ degreeScaling(const CsrGraph &g)
 void
 scaleRows(DenseMatrix &m, const std::vector<float> &s)
 {
+    KernelRegion region("scale_rows");
     globalPool().parallelFor(0, m.rows(),
                              [&](int, size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
@@ -150,6 +151,7 @@ void
 reluInPlace(DenseMatrix &m)
 {
     auto &data = m.data();
+    KernelRegion region("relu");
     globalPool().parallelFor(0, data.size(),
                              [&](int, size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i)

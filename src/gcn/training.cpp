@@ -16,6 +16,7 @@ gemmTransposeA(const DenseMatrix &a, const DenseMatrix &b)
     if (a.rows() != b.rows())
         throw std::invalid_argument("shape mismatch in gemmTransposeA");
     DenseMatrix c(a.cols(), b.cols());
+    KernelRegion region("gemm_at_b");
     // Workers own disjoint column ranges of A, i.e. disjoint row
     // ranges of C; every output row accumulates over r in ascending
     // order, matching the sequential result bit-for-bit.
@@ -44,6 +45,7 @@ gemmTransposeB(const DenseMatrix &a, const DenseMatrix &b)
     if (a.cols() != b.cols())
         throw std::invalid_argument("shape mismatch in gemmTransposeB");
     DenseMatrix c(a.rows(), b.rows());
+    KernelRegion region("gemm_a_bt");
     globalPool().parallelFor(0, a.rows(),
                              [&](int, size_t r0, size_t r1) {
         for (size_t i = r0; i < r1; ++i) {
@@ -66,6 +68,7 @@ reluBackwardInPlace(DenseMatrix &grad, const DenseMatrix &pre)
 {
     auto &gd = grad.data();
     const auto &pd = pre.data();
+    KernelRegion region("relu_backward");
     globalPool().parallelFor(0, gd.size(),
                              [&](int, size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i)

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The obs-owned monotonic clock seam (DESIGN.md section 8).
+ *
+ * Real-time serving needs wall timestamps, but the determinism
+ * contract's replay mode must never read one — and the `clock-via-obs`
+ * lint rule enforces that `steady_clock::now()` appears in src/serve/
+ * only through this seam. RealClock is the single place the serving
+ * layer turns wall time into server microseconds: an origin captured
+ * at reset() and monotonic microsecond offsets from it. Virtual-clock
+ * replay never calls it; every replay timestamp comes from the trace
+ * and the service-cost model.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace igcn::obs {
+
+/** Monotonic microsecond clock with a resettable origin. */
+class RealClock
+{
+  public:
+    RealClock() { reset(); }
+
+    /** Re-anchor the origin at the current instant (t = 0). */
+    void
+    reset()
+    {
+        origin = std::chrono::steady_clock::now();
+    }
+
+    /** Microseconds elapsed since the last reset(). */
+    uint64_t
+    nowUs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - origin)
+                .count());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point origin;
+};
+
+} // namespace igcn::obs

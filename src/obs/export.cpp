@@ -1,0 +1,227 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.hpp"
+
+namespace igcn::obs {
+
+namespace {
+
+void
+emitArgs(JsonWriter &w, const TraceEvent &e)
+{
+    if (e.num.empty() && e.str.empty())
+        return;
+    w.key("args").beginObject();
+    for (const auto &[k, v] : e.num)
+        w.key(k).value(v);
+    for (const auto &[k, v] : e.str)
+        w.key(k).value(v);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+perfettoJson(const TraceRecorder &rec)
+{
+    const std::vector<TraceEvent> events = rec.events();
+
+    // Lanes actually used, ascending — metadata order is a function
+    // of the (deterministic) event stream, never of the host.
+    std::vector<uint32_t> lanes;
+    for (const TraceEvent &e : events)
+        lanes.push_back(e.tid);
+    std::sort(lanes.begin(), lanes.end());
+    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    w.beginObject()
+        .key("name").value("process_name")
+        .key("ph").value("M")
+        .key("pid").value(1)
+        .key("tid").value(0)
+        .key("args").beginObject()
+            .key("name").value("igcn-serve")
+        .endObject()
+    .endObject();
+    for (uint32_t tid : lanes) {
+        w.beginObject()
+            .key("name").value("thread_name")
+            .key("ph").value("M")
+            .key("pid").value(1)
+            .key("tid").value(static_cast<uint64_t>(tid))
+            .key("args").beginObject()
+                .key("name").value(laneName(tid))
+            .endObject()
+        .endObject();
+    }
+
+    for (const TraceEvent &e : events) {
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("cat").value(e.cat.empty() ? "igcn" : e.cat);
+        w.key("ph").value(std::string(1, e.ph));
+        w.key("ts").value(e.tsUs);
+        if (e.ph == 'X')
+            w.key("dur").value(e.durUs);
+        if (e.ph == 'i')
+            w.key("s").value("t"); // thread-scoped instant
+        w.key("pid").value(1);
+        w.key("tid").value(static_cast<uint64_t>(e.tid));
+        emitArgs(w, e);
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writePerfettoTrace(const TraceRecorder &rec, const std::string &path)
+{
+    return writeTextFile(perfettoJson(rec), path);
+}
+
+namespace {
+
+/** Label-value escaping per the Prometheus text format. */
+std::string
+escapeLabelValue(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+/** `{k1="v1",k2="v2"}` (with `extra` appended), "" when empty. */
+std::string
+renderLabels(const Labels &labels, const std::string &extra = "")
+{
+    if (labels.empty() && extra.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + escapeLabelValue(v) + "\"";
+    }
+    if (!extra.empty()) {
+        if (!first)
+            out += ",";
+        out += extra;
+    }
+    out += "}";
+    return out;
+}
+
+const char *
+typeName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter:
+    case MetricKind::ShardedCounter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+} // namespace
+
+std::string
+prometheusText(const Registry &reg)
+{
+    std::string out;
+    std::string last_family;
+    reg.forEach([&](const MetricKey &key, const Registry::Entry &e) {
+        // HELP/TYPE once per family; entries arrive sorted by name,
+        // so a family's members are contiguous.
+        if (key.name != last_family) {
+            if (!e.help.empty())
+                out += "# HELP " + key.name + " " + e.help + "\n";
+            out += "# TYPE " + key.name + " " +
+                   typeName(e.kind) + "\n";
+            last_family = key.name;
+        }
+        switch (e.kind) {
+        case MetricKind::Counter:
+            out += key.name + renderLabels(key.labels) + " " +
+                   std::to_string(e.counter->value()) + "\n";
+            break;
+        case MetricKind::ShardedCounter:
+            out += key.name + renderLabels(key.labels) + " " +
+                   std::to_string(e.sharded->value()) + "\n";
+            break;
+        case MetricKind::Gauge:
+            out += key.name + renderLabels(key.labels) + " " +
+                   std::to_string(e.gauge->value()) + "\n";
+            break;
+        case MetricKind::Histogram: {
+            const Histogram &h = *e.histogram;
+            uint64_t cum = 0;
+            for (size_t i = 0; i < h.upperBounds().size(); ++i) {
+                cum += h.bucketCount(i);
+                out += key.name + "_bucket" +
+                       renderLabels(
+                           key.labels,
+                           "le=\"" +
+                               std::to_string(h.upperBounds()[i]) +
+                               "\"") +
+                       " " + std::to_string(cum) + "\n";
+            }
+            out += key.name + "_bucket" +
+                   renderLabels(key.labels, "le=\"+Inf\"") + " " +
+                   std::to_string(h.count()) + "\n";
+            out += key.name + "_sum" + renderLabels(key.labels) +
+                   " " + std::to_string(h.sum()) + "\n";
+            out += key.name + "_count" + renderLabels(key.labels) +
+                   " " + std::to_string(h.count()) + "\n";
+            break;
+        }
+        }
+    });
+    return out;
+}
+
+std::string
+prometheusText(const std::vector<const Registry *> &regs)
+{
+    std::string out;
+    for (const Registry *reg : regs)
+        if (reg)
+            out += prometheusText(*reg);
+    return out;
+}
+
+bool
+writeTextFile(const std::string &text, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    return std::fclose(f) == 0 && n == text.size();
+}
+
+} // namespace igcn::obs

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Observability exporters (DESIGN.md section 8): Chrome-trace-event/
+ * Perfetto JSON for TraceRecorder streams (`igcn serve
+ * --trace-out=FILE`, loadable in ui.perfetto.dev or
+ * chrome://tracing) and Prometheus text exposition for metric
+ * registries (`--metrics-out=FILE`). Both render deterministic
+ * inputs deterministically: events in append order, metrics in
+ * (name, labels) order, fixed number formatting — which is what
+ * makes the replay-mode trace files byte-identical across
+ * IGCN_THREADS (the obs-determinism CI job cmp-gates this).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace igcn::obs {
+
+/** Chrome trace-event JSON of the recorded stream. */
+std::string perfettoJson(const TraceRecorder &rec);
+
+/** perfettoJson to a file; false on I/O failure. */
+bool writePerfettoTrace(const TraceRecorder &rec,
+                        const std::string &path);
+
+/** Prometheus text exposition of one registry. */
+std::string prometheusText(const Registry &reg);
+
+/** Concatenated exposition of several registries (server + runtime). */
+std::string prometheusText(const std::vector<const Registry *> &regs);
+
+/** Write arbitrary exposition text to a file; false on failure. */
+bool writeTextFile(const std::string &text, const std::string &path);
+
+} // namespace igcn::obs

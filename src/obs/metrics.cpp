@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+namespace igcn::obs {
+
+const std::vector<uint64_t> &
+latencyBoundsUs()
+{
+    // 1-2-5 per decade from 1us to 10s: 22 buckets (+Inf implicit),
+    // coarse enough to stay tiny, fine enough that an interpolated
+    // p99 lands within one bucket width of the exact nearest-rank
+    // value (the compat test in test_serving.cpp pins this).
+    static const std::vector<uint64_t> bounds = {
+        1,       2,       5,       10,      20,      50,
+        100,     200,     500,     1'000,   2'000,   5'000,
+        10'000,  20'000,  50'000,  100'000, 200'000, 500'000,
+        1'000'000, 2'000'000, 5'000'000, 10'000'000,
+    };
+    return bounds;
+}
+
+Registry::Entry &
+Registry::getOrCreate(const MetricKey &key, MetricKind kind,
+                      const std::string &help)
+{
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        if (it->second.kind != kind)
+            throw std::logic_error(
+                "Registry: metric '" + key.name +
+                "' re-registered with a different kind");
+        return it->second;
+    }
+    Entry e;
+    e.kind = kind;
+    e.help = help;
+    return entries.emplace(key, std::move(e)).first->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const Labels &labels,
+                  const std::string &help)
+{
+    MutexLock lock(mutex);
+    Entry &e = getOrCreate({name, labels}, MetricKind::Counter, help);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const Labels &labels,
+                const std::string &help)
+{
+    MutexLock lock(mutex);
+    Entry &e = getOrCreate({name, labels}, MetricKind::Gauge, help);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<uint64_t> &bounds,
+                    const Labels &labels, const std::string &help)
+{
+    MutexLock lock(mutex);
+    Entry &e =
+        getOrCreate({name, labels}, MetricKind::Histogram, help);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(bounds);
+    return *e.histogram;
+}
+
+ShardedCounter &
+Registry::sharded(const std::string &name, const Labels &labels,
+                  const std::string &help)
+{
+    MutexLock lock(mutex);
+    Entry &e =
+        getOrCreate({name, labels}, MetricKind::ShardedCounter, help);
+    if (!e.sharded)
+        e.sharded = std::make_unique<ShardedCounter>();
+    return *e.sharded;
+}
+
+const Counter *
+Registry::findCounter(const std::string &name,
+                      const Labels &labels) const
+{
+    MutexLock lock(mutex);
+    auto it = entries.find({name, labels});
+    return it == entries.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge *
+Registry::findGauge(const std::string &name, const Labels &labels) const
+{
+    MutexLock lock(mutex);
+    auto it = entries.find({name, labels});
+    return it == entries.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &name,
+                        const Labels &labels) const
+{
+    MutexLock lock(mutex);
+    auto it = entries.find({name, labels});
+    return it == entries.end() ? nullptr : it->second.histogram.get();
+}
+
+uint64_t
+Registry::counterFamilyTotal(const std::string &name) const
+{
+    MutexLock lock(mutex);
+    uint64_t total = 0;
+    // Entries sort by name first, so the family is contiguous.
+    for (auto it = entries.lower_bound({name, {}});
+         it != entries.end() && it->first.name == name; ++it) {
+        if (it->second.counter)
+            total += it->second.counter->value();
+        else if (it->second.sharded)
+            total += it->second.sharded->value();
+    }
+    return total;
+}
+
+void
+Registry::forEach(const std::function<void(const MetricKey &,
+                                           const Entry &)> &fn) const
+{
+    MutexLock lock(mutex);
+    for (const auto &[key, entry] : entries)
+        fn(key, entry);
+}
+
+size_t
+Registry::size() const
+{
+    MutexLock lock(mutex);
+    return entries.size();
+}
+
+} // namespace igcn::obs

@@ -1,0 +1,123 @@
+#include "obs/runtime.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+namespace igcn::obs {
+
+Registry &
+runtimeRegistry()
+{
+    static Registry reg;
+    return reg;
+}
+
+void
+RuntimeProfiler::onRegion(const char *label, int chunks,
+                          uint64_t start_us, uint64_t end_us)
+{
+    const Labels labels{{"kernel", label}};
+    reg.counter("igcn_runtime_kernel_regions_total", labels,
+                "parallelFor regions run per kernel")
+        .inc();
+    reg.counter("igcn_runtime_kernel_wall_us_total", labels,
+                "Region wall time per kernel (caller-side us)")
+        .add(end_us - start_us);
+    (void)chunks;
+}
+
+void
+RuntimeProfiler::onChunk(const char *label, int worker,
+                         uint64_t start_us, uint64_t end_us)
+{
+    const uint64_t busy = end_us - start_us;
+    reg.counter("igcn_runtime_kernel_busy_us_total",
+                {{"kernel", label}},
+                "Summed per-chunk busy time per kernel (us)")
+        .add(busy);
+    reg.sharded("igcn_runtime_worker_busy_us", {},
+                "Busy time by pool worker (us)")
+        .add(worker, busy);
+    if (rec)
+        rec->complete(kLaneWorker0 + static_cast<uint32_t>(worker),
+                      label, "runtime", start_us, busy);
+}
+
+namespace {
+
+std::unique_ptr<RuntimeProfiler> g_profiler;
+
+} // namespace
+
+void
+enableRuntimeProfiling(TraceRecorder *rec)
+{
+    g_profiler =
+        std::make_unique<RuntimeProfiler>(runtimeRegistry(), rec);
+    setPoolObserver(g_profiler.get());
+}
+
+void
+disableRuntimeProfiling()
+{
+    setPoolObserver(nullptr);
+    g_profiler.reset();
+}
+
+std::string
+kernelTimingReport(const Registry &reg)
+{
+    struct Row
+    {
+        uint64_t regions = 0;
+        uint64_t wallUs = 0;
+        uint64_t busyUs = 0;
+    };
+    std::map<std::string, Row> rows;
+    reg.forEach([&](const MetricKey &key, const Registry::Entry &e) {
+        if (e.kind != MetricKind::Counter)
+            return;
+        const auto it = key.labels.find("kernel");
+        if (it == key.labels.end())
+            return;
+        Row &row = rows[it->second];
+        if (key.name == "igcn_runtime_kernel_regions_total")
+            row.regions = e.counter->value();
+        else if (key.name == "igcn_runtime_kernel_wall_us_total")
+            row.wallUs = e.counter->value();
+        else if (key.name == "igcn_runtime_kernel_busy_us_total")
+            row.busyUs = e.counter->value();
+    });
+    if (rows.empty())
+        return "";
+
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-28s %10s %12s %12s %10s %7s\n",
+                  "kernel", "regions", "wall_us", "busy_us",
+                  "us/region", "par");
+    out += line;
+    for (const auto &[kernel, row] : rows) {
+        const double per_region =
+            row.regions
+                ? static_cast<double>(row.wallUs) /
+                      static_cast<double>(row.regions)
+                : 0.0;
+        const double par =
+            row.wallUs ? static_cast<double>(row.busyUs) /
+                             static_cast<double>(row.wallUs)
+                       : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "%-28s %10llu %12llu %12llu %10.1f %7.2f\n",
+                      kernel.c_str(),
+                      static_cast<unsigned long long>(row.regions),
+                      static_cast<unsigned long long>(row.wallUs),
+                      static_cast<unsigned long long>(row.busyUs),
+                      per_region, par);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace igcn::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Runtime/kernel instrumentation (DESIGN.md section 8): adapts the
+ * ThreadPool's PoolObserver hooks onto the obs metrics registry (and
+ * optionally a TraceRecorder), giving per-kernel timing for the SpMM
+ * dataflows, gathers, and sparse kernels plus per-worker busy time.
+ *
+ * The runtime layer cannot depend on src/obs/, so the coupling runs
+ * the other way: RuntimeProfiler implements igcn::PoolObserver and is
+ * installed with setPoolObserver(). Everything here measures wall
+ * time on the host — it is diagnostic telemetry, intentionally kept
+ * out of the byte-gated replay trace surface (see trace.hpp).
+ *
+ * Metric families written (all labeled {kernel="..."} from the
+ * innermost KernelRegion active at the parallelFor call):
+ *
+ *   igcn_runtime_kernel_regions_total   parallelFor regions run
+ *   igcn_runtime_kernel_wall_us_total   region wall time (caller)
+ *   igcn_runtime_kernel_busy_us_total   summed per-chunk busy time
+ *   igcn_runtime_worker_busy_us         busy time by worker (sharded)
+ */
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace igcn::obs {
+
+/** Process-wide registry for runtime/kernel metrics; created on
+ *  first use. Exported alongside the server registry by
+ *  `igcn serve --metrics-out`. */
+Registry &runtimeRegistry();
+
+/**
+ * PoolObserver recording per-kernel region counts and wall/busy
+ * microseconds into a Registry, per-worker busy time into a sharded
+ * counter, and (optionally) per-worker busy spans into a
+ * TraceRecorder on the worker lanes. onChunk runs concurrently on
+ * every worker; all sinks here are thread-safe.
+ */
+class RuntimeProfiler : public PoolObserver
+{
+  public:
+    explicit RuntimeProfiler(Registry &reg,
+                             TraceRecorder *rec = nullptr)
+        : reg(reg), rec(rec)
+    {}
+
+    void onRegion(const char *label, int chunks, uint64_t start_us,
+                  uint64_t end_us) override;
+    void onChunk(const char *label, int worker, uint64_t start_us,
+                 uint64_t end_us) override;
+
+  private:
+    Registry &reg;
+    TraceRecorder *rec;
+};
+
+/**
+ * Install a process-wide RuntimeProfiler over runtimeRegistry() as
+ * the pool observer. With a recorder, worker busy spans are also
+ * traced (real-time diagnostics; never part of the replay byte
+ * gate). Idempotent; disableRuntimeProfiling() detaches.
+ */
+void enableRuntimeProfiling(TraceRecorder *rec = nullptr);
+
+/** Detach the pool observer installed by enableRuntimeProfiling. */
+void disableRuntimeProfiling();
+
+/**
+ * Human-readable per-kernel timing table from the registry's
+ * igcn_runtime_kernel_* families (regions, wall us, busy us, mean
+ * wall per region, busy/wall parallelism). Rows sorted by kernel
+ * name; "" when no kernel metrics were recorded.
+ */
+std::string kernelTimingReport(const Registry &reg);
+
+} // namespace igcn::obs

@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+namespace igcn::obs {
+
+std::string
+laneName(uint32_t tid)
+{
+    switch (tid) {
+    case kLaneRequests:
+        return "requests";
+    case kLaneServer:
+        return "server";
+    case kLaneRuntime:
+        return "runtime";
+    default:
+        break;
+    }
+    if (tid >= kLaneWorker0)
+        return "worker-" + std::to_string(tid - kLaneWorker0);
+    return "lane-" + std::to_string(tid);
+}
+
+void
+TraceRecorder::clear()
+{
+    MutexLock lock(mutex);
+    log.clear();
+    nextId = 0;
+}
+
+void
+TraceRecorder::complete(
+    uint32_t tid, std::string name, std::string cat, uint64_t ts_us,
+    uint64_t dur_us,
+    std::vector<std::pair<std::string, uint64_t>> num,
+    std::vector<std::pair<std::string, std::string>> str)
+{
+    if (!enabled())
+        return;
+    MutexLock lock(mutex);
+    TraceEvent e;
+    e.id = nextId++;
+    e.name = std::move(name);
+    e.cat = std::move(cat);
+    e.ph = 'X';
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.tid = tid;
+    e.num = std::move(num);
+    e.str = std::move(str);
+    log.push_back(std::move(e));
+}
+
+void
+TraceRecorder::instant(
+    uint32_t tid, std::string name, std::string cat, uint64_t ts_us,
+    std::vector<std::pair<std::string, uint64_t>> num,
+    std::vector<std::pair<std::string, std::string>> str)
+{
+    if (!enabled())
+        return;
+    MutexLock lock(mutex);
+    TraceEvent e;
+    e.id = nextId++;
+    e.name = std::move(name);
+    e.cat = std::move(cat);
+    e.ph = 'i';
+    e.tsUs = ts_us;
+    e.tid = tid;
+    e.num = std::move(num);
+    e.str = std::move(str);
+    log.push_back(std::move(e));
+}
+
+size_t
+TraceRecorder::size() const
+{
+    MutexLock lock(mutex);
+    return log.size();
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    MutexLock lock(mutex);
+    return log;
+}
+
+} // namespace igcn::obs

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Structured span tracing (DESIGN.md section 8): an append-only
+ * recorder of Chrome-trace-event-shaped spans and instants, threaded
+ * through the request lifecycle (admit -> enqueue -> dispatch ->
+ * batch-form -> gather -> layer0..layerN -> respond) and the update
+ * path (coalesce -> edit-edges -> islandize -> publish-epoch).
+ *
+ * Determinism: in virtual-clock replay every timestamp comes from the
+ * trace and the service-cost model, and events are appended by the
+ * single serving loop in virtual-time order — so the recorded stream
+ * (and its Perfetto JSON export) is byte-identical at any
+ * IGCN_THREADS. Real-time mode stamps events through the obs
+ * RealClock seam instead; those streams are not byte-gated.
+ *
+ * The recorder is mutex-guarded so real-time submitter threads and
+ * opt-in worker-span instrumentation can append safely; when
+ * disabled (the default) every record call is one relaxed load.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "runtime/thread_annotations.hpp"
+
+namespace igcn::obs {
+
+/** One trace event (Chrome trace-event model). */
+struct TraceEvent
+{
+    /** Monotonic per-recorder id, assigned at append. */
+    uint64_t id = 0;
+    std::string name;
+    /** Category ("serve", "update", "runtime"). */
+    std::string cat;
+    /** 'X' complete span, 'i' instant. */
+    char ph = 'X';
+    uint64_t tsUs = 0;
+    /** Span duration ('X' only). */
+    uint64_t durUs = 0;
+    /** Virtual lane (exported as tid); see laneName(). */
+    uint32_t tid = 0;
+    /** Numeric args, in emission order. */
+    std::vector<std::pair<std::string, uint64_t>> num;
+    /** String args, in emission order. */
+    std::vector<std::pair<std::string, std::string>> str;
+};
+
+/** Well-known lanes; lanes >= kLaneWorker0 are pool workers. */
+inline constexpr uint32_t kLaneRequests = 0;
+inline constexpr uint32_t kLaneServer = 1;
+inline constexpr uint32_t kLaneRuntime = 2;
+inline constexpr uint32_t kLaneWorker0 = 100;
+
+/** Display name of a lane ("requests", "server", "worker-3", ...). */
+std::string laneName(uint32_t tid);
+
+/** See file comment. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(bool enabled = false)
+        : on(enabled)
+    {}
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    void setEnabled(bool enabled) { on.store(enabled); }
+    bool enabled() const { return on.load(std::memory_order_relaxed); }
+
+    /** Drop all recorded events (start of a run). */
+    void clear();
+
+    /** Append a complete span [ts, ts+dur); no-op when disabled. */
+    void complete(uint32_t tid, std::string name, std::string cat,
+                  uint64_t ts_us, uint64_t dur_us,
+                  std::vector<std::pair<std::string, uint64_t>> num = {},
+                  std::vector<std::pair<std::string, std::string>>
+                      str = {});
+
+    /** Append an instant event; no-op when disabled. */
+    void instant(uint32_t tid, std::string name, std::string cat,
+                 uint64_t ts_us,
+                 std::vector<std::pair<std::string, uint64_t>> num = {},
+                 std::vector<std::pair<std::string, std::string>>
+                     str = {});
+
+    size_t size() const;
+
+    /** Snapshot of the event list (copy; the exporters use this). */
+    std::vector<TraceEvent> events() const;
+
+  private:
+    std::atomic<bool> on;
+    mutable Mutex mutex;
+    uint64_t nextId IGCN_GUARDED_BY(mutex) = 0;
+    std::vector<TraceEvent> log IGCN_GUARDED_BY(mutex);
+};
+
+/**
+ * RAII wall-clock span: stamps its start at construction and appends
+ * a complete event on destruction, timed through the obs RealClock
+ * seam. For real-time-mode phases whose end is an actual instant;
+ * replay-mode spans call TraceRecorder::complete directly because
+ * their endpoints come from the virtual cost model, not a clock.
+ */
+class Span
+{
+  public:
+    Span(TraceRecorder &rec, const RealClock &clock, uint32_t tid,
+         std::string name, std::string cat)
+        : rec(rec), clock(clock), tid(tid), name(std::move(name)),
+          cat(std::move(cat)), live(rec.enabled()),
+          t0(live ? clock.nowUs() : 0)
+    {}
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a numeric arg to the emitted event. */
+    void
+    arg(std::string key, uint64_t v)
+    {
+        if (live)
+            num.emplace_back(std::move(key), v);
+    }
+
+    ~Span()
+    {
+        if (!live)
+            return;
+        const uint64_t t1 = clock.nowUs();
+        rec.complete(tid, std::move(name), std::move(cat), t0,
+                     t1 - t0, std::move(num));
+    }
+
+  private:
+    TraceRecorder &rec;
+    const RealClock &clock;
+    uint32_t tid;
+    std::string name;
+    std::string cat;
+    bool live;
+    uint64_t t0;
+    std::vector<std::pair<std::string, uint64_t>> num;
+};
+
+} // namespace igcn::obs

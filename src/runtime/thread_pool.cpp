@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -9,6 +11,10 @@ namespace igcn {
 namespace {
 
 thread_local bool t_in_parallel = false;
+
+thread_local const char *t_kernel_label = nullptr;
+
+std::atomic<PoolObserver *> g_observer{nullptr};
 
 /** RAII flag so exceptions unwind the in-region marker correctly. */
 struct RegionGuard
@@ -31,6 +37,48 @@ chunkBounds(size_t begin, size_t end, int c, int num_chunks)
 }
 
 } // namespace
+
+void
+setPoolObserver(PoolObserver *observer)
+{
+    g_observer.store(observer, std::memory_order_release);
+}
+
+PoolObserver *
+poolObserver()
+{
+    return g_observer.load(std::memory_order_acquire);
+}
+
+uint64_t
+runtimeNowUs()
+{
+    // Process-local origin fixed at first call so every callback
+    // shares one time base regardless of which thread asked first.
+    static const std::chrono::steady_clock::time_point origin =
+        std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+}
+
+KernelRegion::KernelRegion(const char *label)
+    : prev(t_kernel_label)
+{
+    t_kernel_label = label;
+}
+
+KernelRegion::~KernelRegion()
+{
+    t_kernel_label = prev;
+}
+
+const char *
+currentKernelLabel()
+{
+    return t_kernel_label;
+}
 
 ThreadPool::ThreadPool(int num_threads)
     : numWorkers(std::max(1, num_threads))
@@ -75,11 +123,17 @@ ThreadPool::runChunk(int chunk, int num_chunks)
         auto [lo, hi] = chunkBounds(jobBegin, jobEnd, chunk, num_chunks);
         if (lo < hi) {
             RegionGuard guard;
+            PoolObserver *obs = jobObserver;
+            const uint64_t t0 = obs ? runtimeNowUs() : 0;
             try {
                 (*jobFn)(chunk, lo, hi);
             } catch (...) {
                 jobErrors[chunk] = std::current_exception();
             }
+            // Reported even when the body threw: the worker was busy
+            // either way, and utilization should not lie about it.
+            if (obs)
+                obs->onChunk(jobLabel, chunk, t0, runtimeNowUs());
         }
     }
 }
@@ -140,9 +194,22 @@ ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
 
     const int chunks = planChunks(begin, end, min_per_worker);
 
+    // One observer snapshot per region so start/end land on the same
+    // implementation even if setPoolObserver races between jobs.
+    PoolObserver *obs = poolObserver();
+    const char *label = t_kernel_label ? t_kernel_label : "unlabeled";
+    const uint64_t region_t0 = obs ? runtimeNowUs() : 0;
+
     if (chunks == 1 || numWorkers == 1) {
-        RegionGuard guard;
-        fn(0, begin, end);
+        {
+            RegionGuard guard;
+            fn(0, begin, end);
+        }
+        if (obs) {
+            const uint64_t t1 = runtimeNowUs();
+            obs->onChunk(label, 0, region_t0, t1);
+            obs->onRegion(label, 1, region_t0, t1);
+        }
         return;
     }
 
@@ -153,6 +220,8 @@ ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
         jobBegin = begin;
         jobEnd = end;
         jobChunks = chunks;
+        jobObserver = obs;
+        jobLabel = label;
         std::fill(jobErrors.begin(), jobErrors.end(), nullptr);
         // All workers wake and re-park if their chunk id is out of
         // range; completion counts every worker so the job slot is
@@ -171,6 +240,7 @@ ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
         while (chunksRemaining != 0)
             doneCv.wait(stateMutex);
         jobFn = nullptr;
+        jobObserver = nullptr;
         for (int w = 0; w < numWorkers; ++w) {
             if (jobErrors[w]) {
                 first_error = jobErrors[w];
@@ -178,6 +248,8 @@ ThreadPool::parallelFor(size_t begin, size_t end, const RangeFn &fn,
             }
         }
     }
+    if (obs)
+        obs->onRegion(label, chunks, region_t0, runtimeNowUs());
     if (first_error)
         std::rethrow_exception(first_error);
 }

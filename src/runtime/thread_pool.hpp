@@ -47,6 +47,66 @@
 
 namespace igcn {
 
+/**
+ * Observation hooks for the pool (DESIGN.md section 8). The runtime
+ * cannot depend on src/obs/, so the dependency is inverted: obs (or
+ * a bench) implements this interface and installs it with
+ * setPoolObserver(). With no observer installed the pool takes no
+ * timestamps and pays one relaxed atomic load per parallelFor.
+ *
+ * onRegion fires on the calling thread after a top-level parallelFor
+ * finished (label = the innermost KernelRegion active at the call,
+ * else "unlabeled"). onChunk fires on each worker's own thread right
+ * after its chunk body ran — implementations must be thread-safe
+ * (the obs RuntimeProfiler aggregates into sharded counters).
+ * Timestamps are runtimeNowUs() microseconds.
+ */
+class PoolObserver
+{
+  public:
+    virtual ~PoolObserver() = default;
+    /** A top-level parallelFor region completed. */
+    virtual void onRegion(const char *label, int chunks,
+                          uint64_t start_us, uint64_t end_us) = 0;
+    /** Worker `worker` finished its chunk of the current region. */
+    virtual void onChunk(const char *label, int worker,
+                         uint64_t start_us, uint64_t end_us) = 0;
+};
+
+/** Install (or, with nullptr, remove) the process-wide observer.
+ *  Not safe concurrently with running kernels; call between runs. */
+void setPoolObserver(PoolObserver *observer);
+
+/** The installed observer, or nullptr. */
+PoolObserver *poolObserver();
+
+/** Monotonic microseconds since a process-local origin; the time
+ *  base of every PoolObserver callback. */
+uint64_t runtimeNowUs();
+
+/**
+ * RAII kernel label: parallelFor regions started while this is alive
+ * on the current thread are attributed to `label` in PoolObserver
+ * callbacks (innermost label wins; the label must outlive the
+ * region, so pass string literals). Purely observational — no effect
+ * on partitioning or execution.
+ */
+class KernelRegion
+{
+  public:
+    explicit KernelRegion(const char *label);
+    ~KernelRegion();
+
+    KernelRegion(const KernelRegion &) = delete;
+    KernelRegion &operator=(const KernelRegion &) = delete;
+
+  private:
+    const char *prev;
+};
+
+/** The innermost active KernelRegion label, or nullptr. */
+const char *currentKernelLabel();
+
 /** Fixed-size worker pool executing statically partitioned ranges. */
 class ThreadPool
 {
@@ -118,6 +178,11 @@ class ThreadPool
     size_t jobBegin IGCN_GUARDED_BY(stateMutex) = 0;
     size_t jobEnd IGCN_GUARDED_BY(stateMutex) = 0;
     int jobChunks IGCN_GUARDED_BY(stateMutex) = 0;
+    // Observer + label snapshot for the current job, published with
+    // the job slot so workers see a consistent pair (the global
+    // observer may change between jobs, never mid-job).
+    PoolObserver *jobObserver IGCN_GUARDED_BY(stateMutex) = nullptr;
+    const char *jobLabel IGCN_GUARDED_BY(stateMutex) = nullptr;
     std::vector<std::exception_ptr> jobErrors
         IGCN_GUARDED_BY(stateMutex);
 };

@@ -59,10 +59,114 @@ Server::~Server()
 uint64_t
 Server::nowUs() const
 {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - clockOrigin)
-            .count());
+    return clock.nowUs();
+}
+
+void
+Server::traceInferenceBatch(uint64_t formed_us, uint64_t done_us,
+                            const BatchExecInfo &info,
+                            const std::vector<InferenceResult> &results,
+                            NodeId graph_nodes, EdgeId graph_edges)
+{
+    if (!tracer.enabled())
+        return;
+    const uint64_t seq = batchSeq++;
+    const uint64_t nodes =
+        info.wholeGraph ? graph_nodes : info.subNodes;
+    const uint64_t edges =
+        info.wholeGraph ? graph_edges : info.subEdges;
+    const uint64_t dur = done_us - formed_us;
+    tracer.complete(obs::kLaneServer, "infer-batch", "serve",
+                    formed_us, dur,
+                    {{"batch", seq},
+                     {"size", results.size()},
+                     {"epoch", info.epoch},
+                     {"targets", info.targets},
+                     {"sub_nodes", nodes},
+                     {"sub_edges", edges},
+                     {"whole_graph", info.wholeGraph ? 1u : 0u}});
+
+    // Phase children subdividing [formed, done] proportionally to
+    // integer work units (+1 floors so a phase never vanishes):
+    // gather walks the receptive field, each layer sweeps its edges,
+    // respond fans results out. Integer arithmetic throughout, so
+    // the subdivision is identical at every thread count.
+    std::vector<std::pair<std::string, uint64_t>> phases;
+    phases.emplace_back("gather", nodes + 1);
+    for (int l = 0; l < engine.numLayers(); ++l)
+        phases.emplace_back("layer" + std::to_string(l),
+                            edges + info.targets + 1);
+    phases.emplace_back("respond",
+                        static_cast<uint64_t>(results.size()) + 1);
+    uint64_t total = 0;
+    for (const auto &[name, work] : phases)
+        total += work;
+    uint64_t cum = 0, prev = formed_us;
+    for (const auto &[name, work] : phases) {
+        cum += work;
+        const uint64_t b = formed_us + dur * cum / total;
+        tracer.complete(obs::kLaneServer, name, "serve", prev,
+                        b - prev, {{"batch", seq}, {"work", work}});
+        prev = b;
+    }
+
+    for (const InferenceResult &r : results)
+        tracer.instant(obs::kLaneRequests, "respond", "serve",
+                       done_us,
+                       {{"req", r.id},
+                        {"tenant", r.tenant},
+                        {"latency_us", done_us - r.arrivalUs},
+                        {"epochs_behind", r.epochsBehind}});
+}
+
+void
+Server::traceUpdateBatch(const UpdateResult &res)
+{
+    if (!tracer.enabled())
+        return;
+    const uint64_t seq = batchSeq++;
+    const uint64_t dur = res.doneUs - res.startUs;
+    tracer.complete(obs::kLaneServer, "update-batch", "update",
+                    res.startUs, dur,
+                    {{"batch", seq},
+                     {"coalesced", res.coalesced},
+                     {"edges_applied", res.edgesApplied},
+                     {"edges_removed", res.edgesRemoved},
+                     {"epoch", res.epoch}});
+
+    const std::pair<std::string, uint64_t> phases[] = {
+        {"coalesce", static_cast<uint64_t>(res.coalesced) + 1},
+        {"edit-edges", static_cast<uint64_t>(res.edgesApplied) +
+                           res.edgesRemoved + 1},
+        {"islandize",
+         static_cast<uint64_t>(res.stats.edgesScanned) + 1},
+    };
+    uint64_t total = 0;
+    for (const auto &[name, work] : phases)
+        total += work;
+    uint64_t cum = 0, prev = res.startUs;
+    for (const auto &[name, work] : phases) {
+        cum += work;
+        const uint64_t b = res.startUs + dur * cum / total;
+        tracer.complete(obs::kLaneServer, name, "update", prev,
+                        b - prev, {{"batch", seq}, {"work", work}});
+        prev = b;
+    }
+
+    if (res.edgesApplied > 0 || res.edgesRemoved > 0)
+        tracer.instant(obs::kLaneServer, "publish-epoch", "update",
+                       res.doneUs, {{"epoch", res.epoch}});
+}
+
+void
+Server::traceRejection(const Rejection &rej, bool dropped)
+{
+    if (!tracer.enabled())
+        return;
+    tracer.instant(obs::kLaneRequests, dropped ? "drop" : "reject",
+                   "serve", rej.atUs,
+                   {{"req", rej.id}, {"tenant", rej.tenant}},
+                   {{"reason", serveErrorName(rej.error)}});
 }
 
 void
@@ -83,6 +187,11 @@ Server::processBatch(const MicroBatch &batch, bool real_time,
         for (InferenceResult &r : results) {
             r.startUs = batch.formedAtUs;
             r.doneUs = done;
+        }
+        traceInferenceBatch(batch.formedAtUs, done, info, results,
+                            state->graph.numNodes(),
+                            state->graph.numEdges());
+        for (InferenceResult &r : results) {
             statsAcc.recordInference(r);
             report.inference.push_back(std::move(r));
         }
@@ -94,6 +203,7 @@ Server::processBatch(const MicroBatch &batch, bool real_time,
         res.doneUs = real_time
             ? nowUs()
             : batch.formedAtUs + cfg.service.updateCostUs(res);
+        traceUpdateBatch(res);
         statsAcc.recordUpdate(res);
         busy_until_us = res.doneUs;
         report.updates.push_back(std::move(res));
@@ -112,6 +222,9 @@ Server::runTrace(std::vector<Request> trace)
                      });
     report = ReplayReport{};
     statsAcc = ServerStats{}; // each run reports its own telemetry
+    tracer.setEnabled(cfg.obs.traceEnabled);
+    tracer.clear();
+    batchSeq = 0;
     return cfg.slo.enabled ? runTraceSlo(std::move(trace))
                            : runTraceFcfs(std::move(trace));
 }
@@ -120,8 +233,13 @@ ReplayReport
 Server::runTraceFcfs(std::vector<Request> trace)
 {
     RequestQueue queue;
-    for (Request &r : trace)
+    for (Request &r : trace) {
+        if (tracer.enabled())
+            tracer.instant(obs::kLaneRequests, "enqueue", "serve",
+                           r.arrivalUs,
+                           {{"req", r.id}, {"tenant", r.tenant}});
         queue.push(std::move(r));
+    }
     queue.close();
 
     Scheduler scheduler(queue, cfg.scheduler, /*real_time=*/false);
@@ -141,6 +259,7 @@ Server::handleSloDecision(SloScheduler::Decision &d, bool real_time,
                             drop.entry.req.kind, drop.error,
                             d.batch.formedAtUs};
         statsAcc.recordRejection(rej);
+        traceRejection(rej, /*dropped=*/true);
         report.rejections.push_back(rej);
     }
     if (real_time)
@@ -167,6 +286,11 @@ Server::handleSloDecision(SloScheduler::Decision &d, bool real_time,
             r.epochsBehind = d.epochsBehind[i];
             r.deadlineUs = d.batch.requests[i].deadlineUs;
             r.freshness = d.batch.requests[i].freshness;
+        }
+        traceInferenceBatch(d.batch.formedAtUs, done, info, results,
+                            state->graph.numNodes(),
+                            state->graph.numEdges());
+        for (InferenceResult &r : results) {
             statsAcc.recordInference(r);
             report.inference.push_back(std::move(r));
         }
@@ -178,6 +302,7 @@ Server::handleSloDecision(SloScheduler::Decision &d, bool real_time,
         res.doneUs = real_time
             ? nowUs()
             : d.batch.formedAtUs + cfg.service.updateCostUs(res);
+        traceUpdateBatch(res);
         statsAcc.recordUpdate(res);
         busy_until_us = res.doneUs;
         report.updates.push_back(std::move(res));
@@ -209,10 +334,15 @@ Server::runTraceSlo(std::vector<Request> trace)
             const Rejection rej{r.id, r.tenant, r.kind, e,
                                 r.arrivalUs};
             statsAcc.recordRejection(rej);
+            traceRejection(rej, /*dropped=*/false);
             report.rejections.push_back(rej);
             return;
         }
         statsAcc.recordAdmission(r.tenant);
+        if (tracer.enabled())
+            tracer.instant(obs::kLaneRequests, "admit", "serve",
+                           r.arrivalUs,
+                           {{"req", r.id}, {"tenant", r.tenant}});
         sched.admit(std::move(r));
         statsAcc.recordQueueDepth(sched.depth());
     };
@@ -282,9 +412,12 @@ Server::start()
     if (running)
         throw std::logic_error("start: already running");
     running = true;
-    clockOrigin = std::chrono::steady_clock::now();
+    clock.reset();
     report = ReplayReport{};
     statsAcc = ServerStats{};
+    tracer.setEnabled(cfg.obs.traceEnabled);
+    tracer.clear();
+    batchSeq = 0;
     {
         MutexLock lock(submitMutex);
         liveAdmission = AdmissionController(cfg.slo);
@@ -317,8 +450,10 @@ Server::submitRequest(Request r)
         const size_t depth = waitingCount.load();
         out.error = liveAdmission.tryAdmit(r, depth);
         if (out.error != ServeError::None) {
-            liveRejections.push_back({r.id, r.tenant, r.kind,
-                                      out.error, r.arrivalUs});
+            const Rejection rej{r.id, r.tenant, r.kind, out.error,
+                                r.arrivalUs};
+            traceRejection(rej, /*dropped=*/false);
+            liveRejections.push_back(rej);
             return out;
         }
         liveAdmittedTenants.push_back(r.tenant);
@@ -326,6 +461,11 @@ Server::submitRequest(Request r)
                                 static_cast<uint64_t>(depth + 1));
         waitingCount.fetch_add(1);
     }
+    if (tracer.enabled())
+        tracer.instant(obs::kLaneRequests,
+                       cfg.slo.enabled ? "admit" : "enqueue", "serve",
+                       r.arrivalUs,
+                       {{"req", r.id}, {"tenant", r.tenant}});
     liveQueue.push(std::move(r));
     return out;
 }

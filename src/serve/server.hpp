@@ -24,9 +24,10 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <thread>
 
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_annotations.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
@@ -61,6 +62,19 @@ struct ServiceModel
     uint64_t updateCostUs(const UpdateResult &res) const;
 };
 
+/** Observability wiring (DESIGN.md section 8). */
+struct ObsConfig
+{
+    /**
+     * Record lifecycle spans and instants into the server's
+     * TraceRecorder (export with obs::writePerfettoTrace, CLI
+     * --trace-out). In replay mode every timestamp is virtual and
+     * the recorded stream is byte-identical at any IGCN_THREADS;
+     * real-time mode stamps through the server's RealClock.
+     */
+    bool traceEnabled = false;
+};
+
 /** Full server configuration. */
 struct ServerConfig
 {
@@ -74,6 +88,8 @@ struct ServerConfig
     SloConfig slo;
     /** Deterministic fault-injection plan (replay mode). */
     FaultPlan faults;
+    /** Observability: span tracing on/off. */
+    ObsConfig obs;
 };
 
 /** Everything a run produced, in dispatch order. */
@@ -134,6 +150,9 @@ class Server
     ReplayReport stop();
 
     const ServerStats &stats() const { return statsAcc; }
+    /** The run's span recorder (populated when cfg.obs.traceEnabled;
+     *  export with obs::writePerfettoTrace). */
+    const obs::TraceRecorder &traceRecorder() const { return tracer; }
     std::shared_ptr<GraphStateHub> stateHub() { return hub; }
     uint64_t currentEpoch() const { return hub->currentEpoch(); }
 
@@ -149,12 +168,26 @@ class Server
     [[nodiscard]] ServeResult submitRequest(Request r);
     uint64_t nowUs() const;
 
+    // Trace emission (no-ops when the recorder is disabled). The
+    // batch spans subdivide [formed, done] into phase children by
+    // integer-proportional work units — exact integers from the
+    // execution, so replay traces are thread-count-exact.
+    void traceInferenceBatch(uint64_t formed_us, uint64_t done_us,
+                             const BatchExecInfo &info,
+                             const std::vector<InferenceResult> &results,
+                             NodeId graph_nodes, EdgeId graph_edges);
+    void traceUpdateBatch(const UpdateResult &res);
+    void traceRejection(const Rejection &rej, bool dropped);
+
     ServerConfig cfg;
     std::shared_ptr<GraphStateHub> hub;
     InferenceEngine engine;
     UpdateApplier applier;
     ServerStats statsAcc;
     ReplayReport report;
+    obs::TraceRecorder tracer;
+    /** Monotonic batch sequence within one run (trace arg). */
+    uint64_t batchSeq = 0;
 
     // Real-time mode state.
     RequestQueue liveQueue;
@@ -163,7 +196,9 @@ class Server
     // igcn-lint: allow(no-thread-outside-runtime)
     std::thread schedulerThread;
     std::atomic<uint64_t> nextId{0};
-    std::chrono::steady_clock::time_point clockOrigin;
+    /** The server's only wall-clock source (real-time mode); reset
+     *  at start(). Replay mode never reads it. */
+    obs::RealClock clock;
     std::atomic<bool> running{false};
 
     // Real-time admission state. Admission decisions happen on

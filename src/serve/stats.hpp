@@ -1,29 +1,40 @@
 /**
  * @file
- * Serving telemetry: per-request latency percentiles, batch-size
- * histogram, throughput, and inference/update interleave counters.
+ * Serving telemetry: per-request latency distributions, batch-size
+ * and staleness accounting, throughput, and admission/shedding
+ * counters — all backed by one obs::Registry per run (DESIGN.md
+ * section 8), so `igcn serve --metrics-out` exports exactly what the
+ * summaries print: there is a single accounting surface.
+ *
+ * Latency percentiles come from fixed-boundary histograms
+ * (obs::latencyBoundsUs, 1-2-5 per decade): memory is bounded under
+ * sustained traffic (a few hundred integers per family instead of
+ * one uint64 per request), count/sum/mean/max stay exact, and
+ * quantiles are rank-interpolated within the containing bucket —
+ * off from the exact nearest-rank value by at most one bucket width
+ * (tests/test_serving.cpp pins this compat bound).
  *
  * Recording happens on the scheduler thread only (batches complete in
  * dispatch order); accessors are meant for after the run or between
- * batches. Latencies are kept exactly (one uint64 per request) so
- * percentiles are nearest-rank over the true distribution, not an
- * approximation — a 10k-request replay is 80 KB, far below sketching
- * territory.
+ * batches. Everything recorded is thread-exact: the same events are
+ * counted in the same order at any IGCN_THREADS.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
-#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/engine.hpp"
 #include "serve/request.hpp"
 
 namespace igcn::serve {
 
-/** Nearest-rank latency summary in microseconds. */
+/** Latency summary in microseconds. count/mean/max are exact;
+ *  p50/p95/p99 are histogram estimates (<= one bucket width off). */
 struct LatencySummary
 {
     uint64_t count = 0;
@@ -32,7 +43,7 @@ struct LatencySummary
     uint64_t maxUs = 0;
 };
 
-/** Per-tenant admission/shedding/latency accounting. */
+/** Per-tenant admission/shedding snapshot (see tenantStats()). */
 struct TenantStats
 {
     uint64_t admitted = 0;
@@ -41,17 +52,25 @@ struct TenantStats
     uint64_t expired = 0;    ///< dropped: deadline passed waiting
     uint64_t shedStale = 0;  ///< dropped: blocked on freshness
     uint64_t served = 0;
-    /** Served latencies, for per-tenant percentiles. */
-    std::vector<uint64_t> latUs;
 
     uint64_t shed() const { return rejected + overloaded; }
     uint64_t dropped() const { return expired + shedStale; }
 };
 
-/** Accumulates one serving run's telemetry. */
+/**
+ * Accumulates one serving run's telemetry into an owned registry.
+ * The registry lives behind a unique_ptr so a run reset
+ * (`statsAcc = ServerStats{}`) is a move; cached metric pointers
+ * stay valid across moves because the registry itself never moves.
+ */
 class ServerStats
 {
   public:
+    ServerStats();
+
+    ServerStats(ServerStats &&) = default;
+    ServerStats &operator=(ServerStats &&) = default;
+
     void recordInference(const InferenceResult &r);
     void recordInferenceBatch(const BatchExecInfo &info);
     void recordUpdate(const UpdateResult &r);
@@ -67,58 +86,49 @@ class ServerStats
     /** Served-latency summary of one tenant. */
     LatencySummary tenantLatency(uint32_t tenant) const;
 
-    const std::map<uint32_t, TenantStats> &tenantStats() const
-    {
-        return tenants;
-    }
-    /** epochs-behind at serve time -> served request count. */
-    const std::map<uint32_t, uint64_t> &stalenessHistogram() const
-    {
-        return staleHist;
-    }
+    /** Per-tenant snapshot, rebuilt from the registry's labeled
+     *  counter families. */
+    std::map<uint32_t, TenantStats> tenantStats() const;
+    /** epochs-behind at serve time -> served request count (exact;
+     *  a labeled counter family, not a bucketed histogram). */
+    std::map<uint32_t, uint64_t> stalenessHistogram() const;
+    /** batch size -> number of inference batches of that size
+     *  (exact; labeled counter family). */
+    std::map<uint32_t, uint64_t> batchSizeHistogram() const;
 
-    uint64_t admittedRequests() const { return numAdmitted; }
-    uint64_t shedRequests() const { return numRejected + numOverloaded; }
-    uint64_t rejectedRequests() const { return numRejected; }
-    uint64_t overloadedRequests() const { return numOverloaded; }
-    uint64_t expiredRequests() const { return numExpired; }
-    uint64_t shedStaleRequests() const { return numShedStale; }
+    uint64_t admittedRequests() const;
+    uint64_t shedRequests() const;
+    uint64_t rejectedRequests() const;
+    uint64_t overloadedRequests() const;
+    uint64_t expiredRequests() const;
+    uint64_t shedStaleRequests() const;
     /** Shed + dropped over all submissions seen by admission. */
     double shedRate() const;
-    uint64_t maxQueueDepth() const { return maxDepth; }
+    uint64_t maxQueueDepth() const;
     /** Served Strict-freshness requests that started past their
      *  deadline — 0 by construction of drop-expired (CI gates on
      *  it). */
-    uint64_t strictDeadlineViolations() const
-    {
-        return numStrictViolations;
-    }
+    uint64_t strictDeadlineViolations() const;
     /** Served requests observing a non-fresh epoch. */
-    uint64_t staleServes() const { return numStaleServes; }
-
-    /** batch size -> number of inference batches of that size. */
-    const std::map<uint32_t, uint64_t> &batchSizeHistogram() const
-    {
-        return batchHist;
-    }
+    uint64_t staleServes() const;
 
     /** Completed inference requests / virtual makespan seconds. */
     double throughputRps() const;
 
-    uint64_t inferenceRequests() const { return infLatUs.size(); }
-    uint64_t inferenceBatches() const { return numInfBatches; }
-    uint64_t updateApplications() const { return numUpdBatches; }
-    uint64_t updatesCoalesced() const { return numUpdCoalesced; }
-    uint64_t epochsPublished() const { return numEpochs; }
-    uint64_t edgesApplied() const { return numEdgesApplied; }
-    uint64_t edgesRemoved() const { return numEdgesRemoved; }
+    uint64_t inferenceRequests() const;
+    uint64_t inferenceBatches() const;
+    uint64_t updateApplications() const;
+    uint64_t updatesCoalesced() const;
+    uint64_t epochsPublished() const;
+    uint64_t edgesApplied() const;
+    uint64_t edgesRemoved() const;
     /** Malformed update events dropped (out-of-range / self loop). */
-    uint64_t edgesSkippedInvalid() const { return numEdgesSkippedInvalid; }
+    uint64_t edgesSkippedInvalid() const;
     /** Update events with no presence change (benign duplicates). */
-    uint64_t edgesSkippedNoop() const { return numEdgesSkippedNoop; }
-    uint64_t wholeGraphBatches() const { return numWholeGraph; }
+    uint64_t edgesSkippedNoop() const;
+    uint64_t wholeGraphBatches() const;
     /** Inference <-> update transitions in dispatch order. */
-    uint64_t interleaves() const { return numInterleaves; }
+    uint64_t interleaves() const;
     double meanBatchSize() const;
     double meanSubgraphNodes() const;
 
@@ -129,37 +139,52 @@ class ServerStats
      *  when no admission decisions were recorded. */
     std::string rejectionTable() const;
 
+    /** The run's metric registry (Prometheus export surface). */
+    const obs::Registry &registry() const { return *reg; }
+
   private:
-    std::vector<uint64_t> infLatUs;
-    std::vector<uint64_t> updLatUs;
-    std::map<uint32_t, uint64_t> batchHist;
-    uint64_t numInfBatches = 0;
-    uint64_t numUpdBatches = 0;
-    uint64_t numUpdCoalesced = 0;
-    uint64_t numEpochs = 0;
-    uint64_t numEdgesApplied = 0;
-    uint64_t numEdgesRemoved = 0;
-    uint64_t numEdgesSkippedInvalid = 0;
-    uint64_t numEdgesSkippedNoop = 0;
-    uint64_t numWholeGraph = 0;
-    uint64_t numInterleaves = 0;
-    uint64_t subNodesTotal = 0;
-    uint64_t subBatches = 0;
+    /** Cached per-tenant metric cells (hot admission/serve path). */
+    struct TenantCells
+    {
+        obs::Counter *admitted = nullptr;
+        obs::Counter *rejected = nullptr;
+        obs::Counter *overloaded = nullptr;
+        obs::Counter *expired = nullptr;
+        obs::Counter *shedStale = nullptr;
+        obs::Counter *served = nullptr;
+        obs::Histogram *latUs = nullptr;
+    };
+
+    TenantCells &tenantCells(uint32_t tenant);
+
+    std::unique_ptr<obs::Registry> reg;
+
+    // Cached hot-path cells; all point into *reg.
+    obs::Histogram *infLatUs;
+    obs::Histogram *updLatUs;
+    obs::Counter *infRequests;
+    obs::Counter *infBatches;
+    obs::Counter *updBatches;
+    obs::Counter *updCoalesced;
+    obs::Counter *epochs;
+    obs::Counter *edgesAdded;
+    obs::Counter *edgesDropped;
+    obs::Counter *edgesInvalid;
+    obs::Counter *edgesNoop;
+    obs::Counter *wholeGraph;
+    obs::Counter *interleaveCount;
+    obs::Counter *subNodesTotal;
+    obs::Counter *subBatchesTotal;
+    obs::Counter *staleServeCount;
+    obs::Counter *strictViolations;
+    obs::Gauge *queueDepth;
+    obs::Gauge *queueDepthMax;
+    std::map<uint32_t, TenantCells> tenantCache;
+
+    // Run bounds / interleave state (not metrics: internal markers).
     uint64_t firstArrivalUs = ~uint64_t{0};
     uint64_t lastDoneUs = 0;
     int lastKind = -1; // -1 none, else RequestKind cast
-
-    // SLO accounting.
-    std::map<uint32_t, TenantStats> tenants;
-    std::map<uint32_t, uint64_t> staleHist;
-    uint64_t numAdmitted = 0;
-    uint64_t numRejected = 0;
-    uint64_t numOverloaded = 0;
-    uint64_t numExpired = 0;
-    uint64_t numShedStale = 0;
-    uint64_t numStrictViolations = 0;
-    uint64_t numStaleServes = 0;
-    uint64_t maxDepth = 0;
 };
 
 } // namespace igcn::serve

@@ -75,6 +75,7 @@ gemm(const DenseMatrix &a, const DenseMatrix &b)
     // float result — matches the sequential kernel bit-for-bit at any
     // thread count.
     constexpr size_t kKTile = 64;
+    KernelRegion region("gemm");
     globalPool().parallelFor(0, a.rows(),
                              [&](int, size_t i0, size_t i1) {
         for (size_t k0 = 0; k0 < a.cols(); k0 += kKTile) {

@@ -69,6 +69,10 @@ gatherTiled(const std::vector<EdgeId> &ptr,
 {
     const size_t channels = b.cols();
     constexpr size_t kChannelTile = 64;
+    // Attribute the region to the calling dataflow's label when one
+    // is active; only bare gather calls show up as "gather_tiled".
+    KernelRegion region(currentKernelLabel() ? currentKernelLabel()
+                                             : "gather_tiled");
     globalPool().parallelFor(0, c.rows(),
                              [&](int, size_t r0, size_t r1) {
         for (size_t ch0 = 0; ch0 < channels; ch0 += kChannelTile) {
@@ -95,6 +99,7 @@ spmmPullRowWise(const CsrMatrix &a, const DenseMatrix &b,
     checkShapes(a, b);
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
+    KernelRegion region("spmm_pull_row_wise");
 
     // Rows of C are independent: shard the row range across workers
     // (gatherTiled), channel-tiled so far more distinct B rows stay
@@ -126,6 +131,7 @@ spmmPullInnerProduct(const CsrMatrix &a, const DenseMatrix &b,
     checkShapes(a, b);
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
+    KernelRegion region("spmm_pull_inner_product");
 
     // Every output element is an independent inner product: shard the
     // row range across workers. Each element accumulates its row's
@@ -166,6 +172,7 @@ spmmPushColumnWise(const CsrMatrix &a, const DenseMatrix &b,
     checkShapes(a, b);
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
+    KernelRegion region("spmm_push_column_wise");
 
     // Outer loop over channels: each pass broadcasts one feature
     // channel of every node to its neighbors. We iterate the non-zeros
@@ -207,6 +214,7 @@ spmmPushOuterProduct(const CsrMatrix &a, const DenseMatrix &b,
     checkShapes(a, b);
     const size_t channels = b.cols();
     DenseMatrix c(a.numRows, channels);
+    KernelRegion region("spmm_push_outer_product");
 
     // The push outer-product dataflow processes non-zeros of A by
     // column k — node k broadcasts its whole feature row B(k,:) into
@@ -261,6 +269,7 @@ csrTransposeTimesDense(const CsrMatrix &x, const DenseMatrix &b)
     // (every training epoch hits this kernel with the same features).
     const CscIndex &csc = x.csc();
     DenseMatrix c(x.numCols, b.cols());
+    KernelRegion region("csr_transpose_times_dense");
     gatherTiled(csc.colPtr, csc.rowOf, csc.valOf, b, c);
     return c;
 }
@@ -286,6 +295,7 @@ csrGather(const CsrFeatures &x, std::span<const NodeId> rows)
     // Each output row copies exactly one source row into its own
     // prefix-summed slot: disjoint writes, so the parallel copy is
     // race-free and trivially bit-identical at any thread count.
+    KernelRegion region("csr_gather");
     globalPool().parallelFor(0, rows.size(),
                              [&](int, size_t i0, size_t i1) {
         for (size_t i = i0; i < i1; ++i) {
@@ -308,6 +318,7 @@ sparseTimesDense(const CsrFeatures &x, const DenseMatrix &w,
         throw std::invalid_argument("sparseTimesDense shape mismatch");
     const size_t channels = w.cols();
     DenseMatrix c(x.numRows, channels);
+    KernelRegion region("sparse_times_dense");
     gatherTiled(x.rowPtr, x.colIdx, x.values, w, c);
 
     // Same pull-row-wise access profile as spmmPullRowWise: one A
@@ -339,6 +350,7 @@ sparseTransposeTimesDense(const CsrFeatures &x, const DenseMatrix &b)
     // sequential scatter's order), workers own disjoint output rows.
     const CsrFeatures::CscView &csc = x.csc();
     DenseMatrix c(x.numCols, b.cols());
+    KernelRegion region("sparse_transpose_times_dense");
     gatherTiled(csc.colPtr, csc.rowOf, csc.valOf, b, c);
     return c;
 }

@@ -1,0 +1,9 @@
+#include <chrono>
+
+uint64_t
+stampDirectly()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        now.time_since_epoch().count());
+}

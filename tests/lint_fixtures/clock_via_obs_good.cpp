@@ -1,0 +1,14 @@
+// Near misses: reads through the seam, mentions of the clock in
+// comments ("steady_clock::now()") and strings, and the unrelated
+// steady_clock type name without a ::now() call.
+#include "obs/clock.hpp"
+
+uint64_t
+stampViaSeam(const igcn::obs::RealClock &clock)
+{
+    const char *doc = "never call steady_clock::now() here";
+    (void)doc;
+    using steady = std::chrono::steady_clock;
+    (void)sizeof(steady::time_point);
+    return clock.nowUs();
+}

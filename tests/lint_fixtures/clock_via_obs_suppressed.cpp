@@ -1,0 +1,11 @@
+#include <chrono>
+
+uint64_t
+bootstrapStamp()
+{
+    // One-time origin capture before the seam object exists.
+    // igcn-lint: allow(clock-via-obs)
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        now.time_since_epoch().count());
+}

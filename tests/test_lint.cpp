@@ -126,8 +126,11 @@ TEST(LintNoWallclock, FlagsSystemClock)
 
 TEST(LintNoWallclock, SteadyClockIsAllowed)
 {
+    // Linted outside src/serve/ (the tag supplies deterministic
+    // scope): no-wallclock tolerates steady_clock everywhere; inside
+    // src/serve/ the separate clock-via-obs rule takes over.
     EXPECT_TRUE(
-        lintFixture("no_wallclock_good.cpp", "src/serve/fixture.cpp")
+        lintFixture("no_wallclock_good.cpp", "src/gcn/fixture.cpp")
             .empty());
 }
 
@@ -337,6 +340,49 @@ TEST(LintNodiscardFactory, Suppressible)
                     .empty());
 }
 
+// ------------------------------------------------------- clock-via-obs
+
+TEST(LintClockViaObs, FlagsRawSteadyClockInServe)
+{
+    const auto diags =
+        lintFixture("clock_via_obs_bad.cpp", "src/serve/fixture.cpp");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].str(),
+              "src/serve/fixture.cpp:6: [clock-via-obs] "
+              "steady_clock::now() in src/serve/; real-time stamps "
+              "must go through the obs::RealClock seam "
+              "(obs/clock.hpp)");
+}
+
+TEST(LintClockViaObs, PurelyPathScoped)
+{
+    // The seam's own implementation (src/obs/) and the runtime's
+    // profiling clock are the legitimate call sites.
+    EXPECT_TRUE(
+        lintFixture("clock_via_obs_bad.cpp", "src/obs/fixture.cpp")
+            .empty());
+    EXPECT_TRUE(lintFixture("clock_via_obs_bad.cpp",
+                            "src/runtime/fixture.cpp")
+                    .empty());
+    EXPECT_TRUE(
+        lintFixture("clock_via_obs_bad.cpp", "tools/fixture.cpp")
+            .empty());
+}
+
+TEST(LintClockViaObs, SeamReadsAndNearMissesAreClean)
+{
+    EXPECT_TRUE(lintFixture("clock_via_obs_good.cpp",
+                            "src/serve/fixture.cpp")
+                    .empty());
+}
+
+TEST(LintClockViaObs, Suppressible)
+{
+    EXPECT_TRUE(lintFixture("clock_via_obs_suppressed.cpp",
+                            "src/serve/fixture.cpp")
+                    .empty());
+}
+
 // ----------------------------------------------------------- self-lint
 
 TEST(LintTree, RealTreeIsClean)
@@ -385,9 +431,9 @@ TEST(LintTree, CatalogueAndRenderingStable)
     // The CI per-rule summary keys off allRules(); keep the
     // catalogue order and the rendering format pinned.
     const auto &rules = igcn::lint::allRules();
-    ASSERT_EQ(rules.size(), 8u);
+    ASSERT_EQ(rules.size(), 9u);
     EXPECT_EQ(rules.front(), "no-rand");
-    EXPECT_EQ(rules.back(), "nodiscard-factory");
+    EXPECT_EQ(rules.back(), "clock-via-obs");
 
     Diagnostic d{"src/x.cpp", 7, "no-rand", "boom"};
     EXPECT_EQ(d.str(), "src/x.cpp:7: [no-rand] boom");

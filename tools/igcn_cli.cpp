@@ -33,6 +33,8 @@
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "obs/export.hpp"
+#include "obs/runtime.hpp"
 #include "reorder/reorder.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
@@ -73,7 +75,14 @@ usage()
         "            SLO mode (enables admission control + EDF):\n"
         "            [--qps-budget Q] [--queue-cap N]\n"
         "            [--staleness K] [--deadline-us D]\n"
-        "            [--strict-frac F]\n");
+        "            [--strict-frac F]\n"
+        "            Observability (DESIGN.md section 8):\n"
+        "            [--trace-out FILE]    Perfetto/Chrome trace JSON\n"
+        "              of the replay's span stream; byte-identical at\n"
+        "              any IGCN_THREADS (load in ui.perfetto.dev)\n"
+        "            [--metrics-out FILE]  Prometheus text snapshot of\n"
+        "              the run's serve metrics + per-kernel runtime\n"
+        "              timing\n");
     return 2;
 }
 
@@ -354,6 +363,12 @@ cmdServe(const Args &args)
             static_cast<uint32_t>(args.getInt("staleness", 0));
     }
 
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    sc.obs.traceEnabled = !trace_out.empty();
+    if (!metrics_out.empty())
+        obs::enableRuntimeProfiling();
+
     std::printf("serve: %u nodes, %llu edges; trace %zu requests "
                 "(%llu inference + %llu updates, %.0f%% deletions), "
                 "batch cap %u, max wait %llu us\n",
@@ -393,6 +408,29 @@ cmdServe(const Args &args)
         std::printf("shed %zu requests (%.1f%% shed rate)\n",
                     rep.rejections.size(),
                     100.0 * server.stats().shedRate());
+    }
+    if (!trace_out.empty()) {
+        if (!obs::writePerfettoTrace(server.traceRecorder(),
+                                     trace_out))
+            throw std::runtime_error("cannot write --trace-out " +
+                                     trace_out);
+        std::printf("wrote trace %s (%zu events)\n",
+                    trace_out.c_str(),
+                    server.traceRecorder().size());
+    }
+    if (!metrics_out.empty()) {
+        obs::disableRuntimeProfiling();
+        const std::string text = obs::prometheusText(
+            {&server.stats().registry(), &obs::runtimeRegistry()});
+        if (!obs::writeTextFile(text, metrics_out))
+            throw std::runtime_error("cannot write --metrics-out " +
+                                     metrics_out);
+        std::printf("wrote metrics %s\n", metrics_out.c_str());
+        const std::string table =
+            obs::kernelTimingReport(obs::runtimeRegistry());
+        if (!table.empty())
+            std::printf("--- per-kernel timing ---\n%s",
+                        table.c_str());
     }
     return 0;
 }

@@ -58,6 +58,15 @@
  *                         returning ServeResult) in a header without
  *                         [[nodiscard]]: discarding the result of an
  *                         immutable builder is always a bug.
+ *  - `clock-via-obs`      raw std::chrono::steady_clock::now() under
+ *                         src/serve/. Real-time stamps must go
+ *                         through the obs::RealClock seam
+ *                         (obs/clock.hpp) so every serve-side clock
+ *                         read shares one origin and traces/metrics
+ *                         stay mutually consistent. Purely
+ *                         path-scoped; the seam itself lives in
+ *                         src/obs/ and is out of scope by
+ *                         construction.
  *
  * ## Scopes
  *
@@ -119,6 +128,7 @@ allRules()
         "no-thread-outside-runtime",
         "no-fast-math",
         "nodiscard-factory",
+        "clock-via-obs",
     };
     return rules;
 }
@@ -273,6 +283,7 @@ lintText(const std::string &rel_path, const std::string &text)
         pathStartsWith(rel_path, "src/gcn/") ||
         pathStartsWith(rel_path, "src/serve/");
     const bool in_runtime = pathStartsWith(rel_path, "src/runtime/");
+    const bool in_serve = pathStartsWith(rel_path, "src/serve/");
     const bool in_src = pathStartsWith(rel_path, "src/");
     const bool is_header =
         rel_path.size() >= 4 &&
@@ -301,6 +312,8 @@ lintText(const std::string &rel_path, const std::string &text)
     static const std::regex re_double_decl(
         R"(^\s*(?:const\s+)?double\s+\w+\s*[={])");
     static const std::regex re_for_loop(R"(\b(?:for|while)\s*\()");
+    static const std::regex re_steady_now(
+        R"(steady_clock\s*::\s*now\s*\()");
 
     // Names of variables declared as unordered containers (file-local
     // heuristic; good enough for the flat scanner).
@@ -343,6 +356,12 @@ lintText(const std::string &rel_path, const std::string &text)
                        "clock (steady_clock is allowed for "
                        "real-time-mode stamps)");
         }
+
+        if (in_serve && std::regex_search(line, re_steady_now))
+            report(i, "clock-via-obs",
+                   "steady_clock::now() in src/serve/; real-time "
+                   "stamps must go through the obs::RealClock seam "
+                   "(obs/clock.hpp)");
 
         if (in_src && !in_runtime &&
             std::regex_search(line, re_thread))
