@@ -101,16 +101,27 @@ class Rng
 
     /**
      * Sample from a bounded discrete power-law (Zipf-like) distribution
-     * over [min_v, max_v] with exponent alpha > 1, via inverse-CDF of
-     * the continuous Pareto approximation.
+     * over [min_v, max_v] with exponent alpha > 0, via inverse-CDF of
+     * the continuous Pareto approximation. The closed form below is
+     * exact for any alpha != 1 (1-alpha just flips sign); alpha == 1
+     * takes the log-uniform limit of the same CDF.
      */
     uint64_t
     nextPowerLaw(uint64_t min_v, uint64_t max_v, double alpha)
     {
         double u = nextDouble();
-        double lo = std::pow(static_cast<double>(min_v), 1.0 - alpha);
-        double hi = std::pow(static_cast<double>(max_v) + 1.0, 1.0 - alpha);
-        double x = std::pow(lo + u * (hi - lo), 1.0 / (1.0 - alpha));
+        double x;
+        if (std::abs(alpha - 1.0) < 1e-9) {
+            const double lo = static_cast<double>(min_v);
+            const double hi = static_cast<double>(max_v) + 1.0;
+            x = lo * std::pow(hi / lo, u);
+        } else {
+            double lo =
+                std::pow(static_cast<double>(min_v), 1.0 - alpha);
+            double hi =
+                std::pow(static_cast<double>(max_v) + 1.0, 1.0 - alpha);
+            x = std::pow(lo + u * (hi - lo), 1.0 / (1.0 - alpha));
+        }
         auto v = static_cast<uint64_t>(x);
         if (v < min_v) v = min_v;
         if (v > max_v) v = max_v;

@@ -126,6 +126,22 @@ Registry::counterFamilyTotal(const std::string &name) const
 }
 
 void
+Registry::resetValues()
+{
+    MutexLock lock(mutex);
+    for (auto &[key, entry] : entries) {
+        if (entry.counter)
+            entry.counter->reset();
+        if (entry.gauge)
+            entry.gauge->reset();
+        if (entry.histogram)
+            entry.histogram->reset();
+        if (entry.sharded)
+            entry.sharded->reset();
+    }
+}
+
+void
 Registry::forEach(const std::function<void(const MetricKey &,
                                            const Entry &)> &fn) const
 {

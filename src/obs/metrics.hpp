@@ -59,6 +59,9 @@ class Counter
 
     uint64_t value() const { return v.load(std::memory_order_relaxed); }
 
+    /** Zero the count (run reset; see Registry::resetValues). */
+    void reset() { v.store(0, std::memory_order_relaxed); }
+
   private:
     std::atomic<uint64_t> v{0};
 };
@@ -98,6 +101,9 @@ class Gauge
     }
 
     int64_t value() const { return v.load(std::memory_order_relaxed); }
+
+    /** Back to the initial 0 (run reset). */
+    void reset() { v.store(0, std::memory_order_relaxed); }
 
   private:
     std::atomic<int64_t> v{0};
@@ -142,6 +148,14 @@ class ShardedCounter
     }
 
     int numShards() const { return static_cast<int>(slots.size()); }
+
+    /** Zero every shard (run reset; not concurrent with add()). */
+    void
+    reset()
+    {
+        for (Slot &s : slots)
+            s.v.store(0, std::memory_order_relaxed);
+    }
 
   private:
     struct alignas(64) Slot
@@ -229,12 +243,19 @@ class Histogram
      * Rank-interpolated quantile estimate, clamped to the observed
      * [min, max]. Off from the exact nearest-rank value by at most
      * the width of the containing bucket.
+     *
+     * Degenerate counts are pinned contract, not clamp accidents
+     * (tests/test_obs.cpp): an empty histogram returns 0.0 for every
+     * q, and a single-sample histogram returns that sample exactly
+     * for every q — both with quantileErrorBound() == 0.
      */
     double
     quantile(double q) const
     {
         if (total == 0)
             return 0.0;
+        if (total == 1)
+            return static_cast<double>(minSeen);
         q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
         const double target = q * static_cast<double>(total);
         uint64_t cum = 0;
@@ -261,11 +282,12 @@ class Histogram
     }
 
     /** Width of the bucket containing quantile q (the estimate's
-     *  worst-case error vs. the exact nearest-rank value). */
+     *  worst-case error vs. the exact nearest-rank value). 0 at
+     *  count <= 1: quantile() is exact there by contract. */
     double
     quantileErrorBound(double q) const
     {
-        if (total == 0)
+        if (total <= 1)
             return 0.0;
         q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
         const double target = q * static_cast<double>(total);
@@ -302,6 +324,18 @@ class Histogram
         }
         total += other.total;
         sumValues += other.sumValues;
+    }
+
+    /** Back to the freshly constructed state, keeping the bounds
+     *  (run reset; single-writer, like observe()). */
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        total = 0;
+        sumValues = 0;
+        minSeen = 0;
+        maxSeen = 0;
     }
 
   private:
@@ -399,6 +433,16 @@ class Registry
 
     /** Sum of a counter family's values over every label set. */
     uint64_t counterFamilyTotal(const std::string &name) const;
+
+    /**
+     * Zero every metric's recorded values in place. Registration
+     * survives: every pointer or reference previously returned stays
+     * valid and keeps pointing at the (now zeroed) metric — this is
+     * what makes a run reset safe for callers that cache metric
+     * pointers (serve::ServerStats::reset). Not concurrent with
+     * recording.
+     */
+    void resetValues();
 
     /** Visit every entry in (name, labels) order. */
     void forEach(const std::function<void(const MetricKey &,

@@ -1,0 +1,148 @@
+#include "serve/agg_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/engine.hpp"
+
+namespace igcn::serve {
+
+// GraphState::aggProvenance is produced in IslandProvenance terms and
+// consumed here; the sentinel must be one value.
+static_assert(AggCache::kNoParent == IslandProvenance::kNone);
+
+AggCache::AggCache(AggCacheConfig cfg) : cfg(cfg) {}
+
+void
+AggCache::advanceTo(const GraphState &state)
+{
+    advance(state.epoch, state.hasParent, state.parentEpoch,
+            state.aggProvenance);
+}
+
+void
+AggCache::advance(uint64_t new_epoch, bool has_parent,
+                  uint64_t parent_epoch,
+                  std::span<const uint32_t> provenance)
+{
+    MutexLock lock(mutex);
+    if (primed && new_epoch == cur)
+        return;
+
+    if (primed && has_parent && parent_epoch == cur) {
+        // Lineage step: keep exactly the entries the provenance map
+        // vouches for, rekeyed to the new island ids. Everything
+        // else — dissolved islands, dirty-swept survivors, and old
+        // ids no new island claims — is invalid.
+        std::map<uint32_t, Entry> kept;
+        for (uint32_t new_id = 0; new_id < provenance.size();
+             ++new_id) {
+            const uint32_t parent = provenance[new_id];
+            if (parent == kNoParent)
+                continue;
+            auto it = entries.find(parent);
+            if (it == entries.end())
+                continue;
+            kept.emplace(new_id, std::move(it->second));
+            entries.erase(it);
+        }
+        for (const auto &[id, e] : entries) {
+            dropBytesLocked(e);
+            st.invalidated++;
+        }
+        entries = std::move(kept);
+        cur = new_epoch;
+        return;
+    }
+
+    // Lineage gap (or first prime): nothing can be trusted.
+    if (!entries.empty()) {
+        st.clears++;
+        st.bytes = 0;
+        st.entries = 0;
+        entries.clear();
+    }
+    cur = new_epoch;
+    primed = true;
+}
+
+bool
+AggCache::lookup(uint64_t epoch, uint32_t island_id,
+                 size_t expected_floats, float *out)
+{
+    MutexLock lock(mutex);
+    if (!primed || epoch != cur) {
+        st.misses++;
+        return false;
+    }
+    auto it = entries.find(island_id);
+    if (it == entries.end() ||
+        it->second.rows.size() != expected_floats) {
+        st.misses++;
+        return false;
+    }
+    it->second.tick = ++tick;
+    std::copy_n(it->second.rows.data(), expected_floats, out);
+    st.hits++;
+    return true;
+}
+
+void
+AggCache::insert(uint64_t epoch, uint32_t island_id,
+                 std::vector<float> rows)
+{
+    MutexLock lock(mutex);
+    if (!primed || epoch != cur || rows.empty())
+        return;
+    Entry &e = entries[island_id];
+    if (!e.rows.empty())
+        dropBytesLocked(e); // overwrite (racing double-fill)
+    else
+        st.entries++;
+    st.bytes += rows.size() * sizeof(float);
+    e.rows = std::move(rows);
+    e.tick = ++tick;
+    st.fills++;
+    evictOverBudgetLocked();
+}
+
+void
+AggCache::reset()
+{
+    MutexLock lock(mutex);
+    entries.clear();
+    primed = false;
+    cur = 0;
+    tick = 0;
+    st = AggCacheStats{};
+}
+
+AggCacheStats
+AggCache::stats() const
+{
+    MutexLock lock(mutex);
+    return st;
+}
+
+void
+AggCache::dropBytesLocked(const Entry &e)
+{
+    st.bytes -= e.rows.size() * sizeof(float);
+    st.entries--;
+}
+
+void
+AggCache::evictOverBudgetLocked()
+{
+    while (st.bytes > cfg.maxBytes && !entries.empty()) {
+        auto victim = entries.begin();
+        for (auto it = entries.begin(); it != entries.end(); ++it)
+            if (it->second.tick < victim->second.tick)
+                victim = it;
+        dropBytesLocked(victim->second);
+        entries.erase(victim);
+        st.evictions++;
+    }
+}
+
+} // namespace igcn::serve

@@ -22,8 +22,12 @@ Scheduler::next(uint64_t not_before_us, MicroBatch &out)
     if (queue.popHead(first) == RequestQueue::Pop::Closed)
         return false;
 
+    // Continuous batching (the SloScheduler discipline): the batch
+    // starts the moment the engine and the head are both ready, and
+    // admits exactly the same-kind requests already arrived by then —
+    // no straggler wait, so under light load requests go out alone
+    // immediately and under load batches fill from the backlog.
     const uint64_t start = std::max(not_before_us, first.arrivalUs);
-    const uint64_t deadline = start + cfg.maxWaitUs;
     const uint32_t cap = first.kind == RequestKind::Inference
         ? std::max<uint32_t>(1, cfg.maxBatch)
         : std::max<uint32_t>(1, cfg.maxUpdateCoalesce);
@@ -33,33 +37,15 @@ Scheduler::next(uint64_t not_before_us, MicroBatch &out)
     out.requests.push_back(std::move(first));
     Request r;
     while (out.requests.size() < cap &&
-           queue.popKindBefore(out.kind, deadline, realTime, nowUs,
+           queue.popKindBefore(out.kind, start, /*wait=*/false, nowUs,
                                r) == RequestQueue::Pop::Got)
         out.requests.push_back(std::move(r));
 
-    if (realTime) {
-        out.formedAtUs = nowUs(); // the actual dispatch moment
-        return true;
-    }
-    // Virtual dispatch time: a full batch leaves the moment its last
-    // member arrived. A partial batch leaves as soon as the scheduler
-    // can know nothing more will join it — when the closing request
-    // (the queued head of the other kind, or a same-kind head past
-    // the deadline) arrived, when the stream ended (queue closed), or
-    // at the batching deadline, whichever is earliest.
-    if (out.requests.size() == cap) {
-        out.formedAtUs = std::max(start, out.requests.back().arrivalUs);
-        return true;
-    }
-    uint64_t head_arrival = 0;
-    if (queue.peekHeadArrival(head_arrival))
-        out.formedAtUs = std::max(start,
-                                  std::min(deadline, head_arrival));
-    else if (queue.closed())
-        out.formedAtUs = std::max(start,
-                                  out.requests.back().arrivalUs);
-    else
-        out.formedAtUs = deadline;
+    // The dispatch moment: the batch boundary is the engine-free
+    // instant itself in both clock disciplines (real-time arrivals
+    // are stamped by the same clock, so everything queued is already
+    // eligible).
+    out.formedAtUs = realTime ? nowUs() : start;
     return true;
 }
 

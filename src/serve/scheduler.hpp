@@ -3,18 +3,24 @@
  * FCFS micro-batching scheduler.
  *
  * Batching rule (the µLLM/vLLM continuous-batching shape adapted to
- * graph serving): pop the queue head; the batch may start no earlier
- * than max(engine-busy-until, head arrival); requests of the same
- * kind arriving before start + maxWaitUs join the batch up to the
- * kind's size cap. A head of the other kind closes the batch — FCFS
- * order between inference and updates is never violated, which is
- * what makes per-request results independent of the batch cap (an
- * update can never jump ahead of, or fall behind, an inference
- * request it raced in arrival order). Consecutive updates coalesce
- * into one application regardless of whether they add or delete
- * edges — the applier folds the mixed span into one last-write-wins
- * net effect (the mixed-span coalescing rule) — the exact batched
- * `std::span` pattern updateIslandization is tested for.
+ * graph serving, same discipline as SloScheduler): pop the queue
+ * head; the batch starts at start = max(engine-busy-until, head
+ * arrival) and admits the same-kind requests with arrival <= start,
+ * up to the kind's size cap — the batch is whatever is eligible when
+ * the engine frees up, with no straggler wait. The legacy rule
+ * instead held the batch open until start + maxWaitUs, taxing every
+ * admitted request with the wait for stragglers even when the size
+ * cap had headroom; tests/test_serving.cpp pins the differential
+ * against an in-test model of that rule. A head of the other kind
+ * closes the batch — FCFS order between inference and updates is
+ * never violated, which is what makes per-request results
+ * independent of the batch cap (an update can never jump ahead of,
+ * or fall behind, an inference request it raced in arrival order).
+ * Consecutive updates coalesce into one application regardless of
+ * whether they add or delete edges — the applier folds the mixed
+ * span into one last-write-wins net effect (the mixed-span
+ * coalescing rule) — the exact batched `std::span` pattern
+ * updateIslandization is tested for.
  *
  * In virtual mode the decisions above are a pure function of the
  * trace timestamps and this config — the determinism contract the
@@ -33,7 +39,10 @@ struct SchedulerConfig
 {
     /** Inference micro-batch size cap. */
     uint32_t maxBatch = 32;
-    /** Batching deadline past the batch's earliest possible start. */
+    /** DEPRECATED — ignored. The legacy straggler-wait deadline of
+     *  the drain-then-admit rule; continuous batching admits by the
+     *  engine-free instant alone. Kept so existing configs and CLI
+     *  invocations stay valid. */
     uint64_t maxWaitUs = 200;
     /** Consecutive update requests folded into one application. */
     uint32_t maxUpdateCoalesce = 64;

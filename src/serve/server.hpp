@@ -29,6 +29,7 @@
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_annotations.hpp"
+#include "serve/agg_cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/stats.hpp"
@@ -90,6 +91,9 @@ struct ServerConfig
     FaultPlan faults;
     /** Observability: span tracing on/off. */
     ObsConfig obs;
+    /** Epoch-keyed island-aggregation cache (serve/agg_cache.hpp).
+     *  Off by default; results are byte-identical either way. */
+    AggCacheConfig aggCache;
 };
 
 /** Everything a run produced, in dispatch order. */
@@ -183,6 +187,8 @@ class Server
     std::shared_ptr<GraphStateHub> hub;
     InferenceEngine engine;
     UpdateApplier applier;
+    /** Present iff cfg.aggCache.enabled; attached to the engine. */
+    std::unique_ptr<AggCache> aggCachePtr;
     ServerStats statsAcc;
     ReplayReport report;
     obs::TraceRecorder tracer;

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "serve/agg_cache.hpp"
 #include "serve/engine.hpp"
 #include "serve/request.hpp"
 
@@ -59,20 +60,42 @@ struct TenantStats
 
 /**
  * Accumulates one serving run's telemetry into an owned registry.
- * The registry lives behind a unique_ptr so a run reset
- * (`statsAcc = ServerStats{}`) is a move; cached metric pointers
- * stay valid across moves because the registry itself never moves.
+ *
+ * A run reset is reset(), never move-assignment: assigning a fresh
+ * ServerStats would destroy the old registry, dangling every
+ * externally held registry() reference (the CLI's Prometheus export,
+ * tests snapshotting between runs) — so the move operations are
+ * deleted and reset() zeroes the metrics in place, keeping both the
+ * registry object and every cached metric pointer valid
+ * (tests/test_serving.cpp pins this under ASan).
  */
 class ServerStats
 {
   public:
     ServerStats();
 
-    ServerStats(ServerStats &&) = default;
-    ServerStats &operator=(ServerStats &&) = default;
+    ServerStats(ServerStats &&) = delete;
+    ServerStats &operator=(ServerStats &&) = delete;
+
+    /**
+     * Zero every recorded value for a new run. In-place: the
+     * registry, its registered metrics, and all cached metric
+     * pointers (including the per-tenant cells) survive, so
+     * recording may continue immediately and references obtained
+     * via registry() before the reset stay valid.
+     */
+    void reset();
 
     void recordInference(const InferenceResult &r);
     void recordInferenceBatch(const BatchExecInfo &info);
+    /**
+     * Fold a cumulative AggCacheStats snapshot into the registry.
+     * Counters advance by the delta against the previous snapshot
+     * (snapshots are monotone within a run; the cache and the stats
+     * are reset together at run start), gauges track the current
+     * bytes/entries. Call after each inference batch.
+     */
+    void recordAggCache(const AggCacheStats &s);
     void recordUpdate(const UpdateResult &r);
     /** Record an admitted request (SLO path). */
     void recordAdmission(uint32_t tenant);
@@ -132,6 +155,17 @@ class ServerStats
     double meanBatchSize() const;
     double meanSubgraphNodes() const;
 
+    // Aggregation-cache accessors (all zero when the cache is off).
+    uint64_t aggCacheHits() const;
+    uint64_t aggCacheMisses() const;
+    uint64_t aggCacheFills() const;
+    uint64_t aggCacheEvictions() const;
+    uint64_t aggCacheInvalidated() const;
+    uint64_t aggCacheBytes() const;
+    uint64_t aggCacheEntries() const;
+    /** hits / (hits + misses); 0 when no lookups happened. */
+    double aggCacheHitRate() const;
+
     /** Multi-line human-readable summary (CLI / bench output). */
     std::string summary() const;
 
@@ -177,6 +211,14 @@ class ServerStats
     obs::Counter *subBatchesTotal;
     obs::Counter *staleServeCount;
     obs::Counter *strictViolations;
+    obs::Counter *aggHits;
+    obs::Counter *aggMisses;
+    obs::Counter *aggFills;
+    obs::Counter *aggEvictions;
+    obs::Counter *aggInvalidated;
+    obs::Counter *aggClears;
+    obs::Gauge *aggBytes;
+    obs::Gauge *aggEntries;
     obs::Gauge *queueDepth;
     obs::Gauge *queueDepthMax;
     std::map<uint32_t, TenantCells> tenantCache;
@@ -185,6 +227,8 @@ class ServerStats
     uint64_t firstArrivalUs = ~uint64_t{0};
     uint64_t lastDoneUs = 0;
     int lastKind = -1; // -1 none, else RequestKind cast
+    /** Previous cumulative cache snapshot (delta base). */
+    AggCacheStats lastAgg;
 };
 
 } // namespace igcn::serve

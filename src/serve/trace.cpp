@@ -115,7 +115,7 @@ makeSyntheticTrace(const CsrGraph &g, const TraceConfig &cfg)
             remaining_upd--;
         } else {
             r.kind = RequestKind::Inference;
-            if (cfg.zipfAlpha > 1.0) {
+            if (cfg.zipfAlpha > 0.0) {
                 // Zipfian by degree rank over the whole node set.
                 const uint64_t rank =
                     rng.nextPowerLaw(1, n, cfg.zipfAlpha);

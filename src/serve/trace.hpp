@@ -65,11 +65,13 @@ struct TraceConfig
     /** Burst only: arrival-rate multiplier inside the burst. */
     double burstRateMultiplier = 8.0;
     /**
-     * Zipfian target skew: when > 1, inference targets are drawn by
+     * Zipfian target skew: when > 0, inference targets are drawn by
      * degree rank with P(rank) ~ rank^-zipfAlpha over the whole node
      * set (the millions-of-users popularity curve), replacing the
      * hotFraction/hotSetFraction two-tier draw. 0 (default) keeps
-     * the legacy hot-set draw bit-for-bit.
+     * the legacy hot-set draw bit-for-bit. (The gate used to be
+     * > 1, silently degrading sub-critical exponents like 0.8 to
+     * the hot-set draw; any positive alpha now means Zipf.)
      */
     double zipfAlpha = 0.0;
     /** Tenants; requests are assigned round-robin by id (no RNG). */

@@ -93,6 +93,66 @@ TEST(ObsHistogram, QuantileWithinErrorBoundAndClamped)
     EXPECT_EQ(empty.maxValue(), 0u);
 }
 
+TEST(ObsHistogram, EmptyAndSingleSampleQuantileContract)
+{
+    // The pinned degenerate-histogram contract (metrics.hpp):
+    //   count == 0 -> quantile(q) == 0.0 for every q,
+    //   count == 1 -> quantile(q) == the one observed value exactly
+    //                 (no bucket interpolation),
+    // and quantileErrorBound() == 0 in both cases — the estimates
+    // are exact, so summaries built on them need no slack.
+    Histogram empty(latencyBoundsUs());
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(empty.quantile(q), 0.0) << "q = " << q;
+        EXPECT_DOUBLE_EQ(empty.quantileErrorBound(q), 0.0)
+            << "q = " << q;
+    }
+
+    Histogram one(latencyBoundsUs());
+    one.observe(37); // interior of a bucket: interpolation would lie
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(one.quantile(q), 37.0) << "q = " << q;
+        EXPECT_DOUBLE_EQ(one.quantileErrorBound(q), 0.0)
+            << "q = " << q;
+    }
+
+    // The second observation leaves the exact regime: estimates may
+    // interpolate but stay clamped to the observed range.
+    one.observe(42);
+    for (double q : {0.0, 0.5, 1.0}) {
+        EXPECT_GE(one.quantile(q), 37.0) << "q = " << q;
+        EXPECT_LE(one.quantile(q), 42.0) << "q = " << q;
+    }
+}
+
+TEST(ObsRegistry, ResetValuesKeepsRegistrationAndPointers)
+{
+    Registry reg;
+    Counter &c = reg.counter("t_total", {{"k", "a"}});
+    Gauge &g = reg.gauge("t_gauge");
+    Histogram &h = reg.histogram("t_lat_us", latencyBoundsUs());
+    c.add(5);
+    g.set(9);
+    h.observe(37);
+
+    reg.resetValues();
+
+    // Values zeroed; registration, lookup, and pointers all survive.
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(reg.findCounter("t_total", {{"k", "a"}}), &c);
+    EXPECT_EQ(reg.findGauge("t_gauge"), &g);
+    EXPECT_EQ(reg.findHistogram("t_lat_us"), &h);
+
+    // Re-registration after the reset dedupes onto the same cells.
+    EXPECT_EQ(&reg.counter("t_total", {{"k", "a"}}), &c);
+    c.add(2);
+    EXPECT_EQ(c.value(), 2u);
+}
+
 TEST(ObsHistogram, WorkerOrderedMergeBitIdenticalToSequential)
 {
     // The contract's merge discipline: per-worker histograms folded

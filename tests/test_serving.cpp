@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <thread>
 #include <vector>
@@ -257,13 +258,199 @@ TEST(ServingReplay, PerRequestResultsInvariantAcrossBatchCaps)
         Server server(w.graph, w.features, w.weights, sc);
         sigs.push_back(ReplaySignature::of(server.runTrace(trace)));
     }
-    // Batching may not change any request's result or the epoch it
-    // was served against (FCFS: updates are sequence points at every
-    // cap). Batch sizes of course differ.
+    // Batching may not change any request's result: FCFS order makes
+    // the set of updates applied before a request a pure function of
+    // the trace, so its logits are cap-invariant bit-exactly. The
+    // epoch *number* is config metadata — under continuous batching
+    // the inference cap shifts the busy horizon and with it how many
+    // updates coalesce per application — so only the logits are
+    // compared across caps (epoch equality across thread counts at a
+    // fixed cap is pinned by DeterministicAcrossThreadCounts).
+    const auto logitsById = [](const ReplaySignature &s) {
+        std::map<uint64_t, std::vector<float>> m;
+        for (const auto &[id, er] : s.byId)
+            m[id] = er.second;
+        return m;
+    };
     for (size_t i = 1; i < sigs.size(); ++i) {
-        EXPECT_EQ(sigs[0].byId, sigs[i].byId) << "cap run " << i;
-        EXPECT_EQ(sigs[0].updateEpochs, sigs[i].updateEpochs);
+        EXPECT_EQ(logitsById(sigs[0]), logitsById(sigs[i]))
+            << "cap run " << i;
+        // Every cap applies the same update stream: epochs advance by
+        // 1 per application and cover the same events.
+        EXPECT_FALSE(sigs[i].updateEpochs.empty());
+        for (size_t e = 1; e < sigs[i].updateEpochs.size(); ++e)
+            EXPECT_EQ(sigs[i].updateEpochs[e],
+                      sigs[i].updateEpochs[e - 1] + 1);
     }
+}
+
+// --------------------------------------- aggregation cache (tentpole)
+
+TEST(ServingAggCache, CacheEnabledReplayBitIdenticalToDisabled)
+{
+    // The cache's whole contract in one pin: with the island-
+    // aggregation cache on, every request's logits are byte-
+    // identical to the uncached server's — across a mixed trace
+    // (updates invalidate islands mid-run), at IGCN_THREADS 1, 4
+    // and 8 — and the cache actually engaged (hits > 0, so the test
+    // cannot pass vacuously). Epoch numbers and batch composition
+    // may legitimately differ: cache hits shrink the virtual service
+    // cost, shifting the busy horizon, and batch formation is a
+    // function of it; the FCFS dispatch order — and therefore the
+    // update set seen by each request — is not.
+    Workload w = makeWorkload(900, 16, 12, 6, 2, 17);
+    TraceConfig tc;
+    tc.numInference = 400;
+    tc.numUpdates = 40;
+    tc.seed = 11;
+    const std::vector<Request> trace =
+        makeSyntheticTrace(w.graph, tc);
+
+    const auto logitsById = [](const ReplayReport &rep) {
+        std::map<uint64_t, std::vector<float>> m;
+        for (const InferenceResult &r : rep.inference)
+            m[r.id] = r.logits;
+        return m;
+    };
+
+    setGlobalThreads(1);
+    Server plain(w.graph, w.features, w.weights, ServerConfig{});
+    const auto want = logitsById(plain.runTrace(trace));
+
+    ServerConfig cc;
+    cc.aggCache.enabled = true;
+    std::vector<ReplaySignature> cachedSigs;
+    for (int threads : {1, 4, 8}) {
+        setGlobalThreads(threads);
+        Server cached(w.graph, w.features, w.weights, cc);
+        ReplayReport rep = cached.runTrace(trace);
+        EXPECT_EQ(want, logitsById(rep))
+            << "cached logits diverged at " << threads << " threads";
+        EXPECT_GT(cached.stats().aggCacheHits(), 0u);
+        EXPECT_GT(cached.stats().aggCacheFills(), 0u);
+        // Updates ran, so invalidation ran too.
+        EXPECT_GT(cached.stats().aggCacheInvalidated() +
+                      cached.stats().aggCacheMisses(),
+                  0u);
+        cachedSigs.push_back(ReplaySignature::of(rep));
+    }
+    setGlobalThreads(0);
+    // Among cache-enabled runs the full signature (epochs included)
+    // is thread-count-exact: determinism survives the cache.
+    for (size_t i = 1; i < cachedSigs.size(); ++i) {
+        EXPECT_EQ(cachedSigs[0].byId, cachedSigs[i].byId);
+        EXPECT_EQ(cachedSigs[0].updateEpochs,
+                  cachedSigs[i].updateEpochs);
+        EXPECT_EQ(cachedSigs[0].batchSizeById,
+                  cachedSigs[i].batchSizeById);
+    }
+}
+
+TEST(ServingAggCache, SparseFeatureServerBitIdenticalWithCache)
+{
+    // The sparse first-layer path fills and consults the same cache;
+    // cached sparse == uncached dense, bit-exactly.
+    Workload w = makeWorkload(600, 64, 12, 6, 2, 23);
+    Rng rng(77);
+    w.features.fillRandomSparse(rng, 0.02, 1.0f);
+    Features sparse;
+    sparse.sparse = true;
+    sparse.csr = denseToCsrFeatures(w.features);
+
+    TraceConfig tc;
+    tc.numInference = 200;
+    tc.numUpdates = 20;
+    tc.seed = 5;
+    const std::vector<Request> trace =
+        makeSyntheticTrace(w.graph, tc);
+
+    const auto logitsById = [](const ReplayReport &rep) {
+        std::map<uint64_t, std::vector<float>> m;
+        for (const InferenceResult &r : rep.inference)
+            m[r.id] = r.logits;
+        return m;
+    };
+    Server dense(w.graph, w.features, w.weights, ServerConfig{});
+    const auto want = logitsById(dense.runTrace(trace));
+
+    ServerConfig cc;
+    cc.aggCache.enabled = true;
+    Server cached(w.graph, sparse, w.weights, cc);
+    EXPECT_EQ(want, logitsById(cached.runTrace(trace)));
+    EXPECT_GT(cached.stats().aggCacheHits(), 0u);
+}
+
+TEST(ServingAggCache, LookupInsertAndDeterministicLruEviction)
+{
+    AggCacheConfig cfg;
+    cfg.enabled = true;
+    cfg.maxBytes = 10 * sizeof(float); // room for two 5-float rows
+    AggCache cache(cfg);
+    cache.advance(1, false, 0, {});
+
+    const std::vector<float> a{1, 2, 3, 4, 5};
+    const std::vector<float> b{6, 7, 8, 9, 10};
+    cache.insert(1, 0, a);
+    cache.insert(1, 1, b);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().bytes, 10 * sizeof(float));
+
+    float buf[5];
+    // Hit returns the exact bytes and refreshes island 0's tick.
+    ASSERT_TRUE(cache.lookup(1, 0, 5, buf));
+    EXPECT_EQ(0, std::memcmp(buf, a.data(), sizeof(buf)));
+    // Wrong length is a miss, never a partial copy.
+    EXPECT_FALSE(cache.lookup(1, 0, 4, buf));
+    // Wrong epoch is a miss (racing-advance shape).
+    EXPECT_FALSE(cache.lookup(2, 0, 5, buf));
+
+    // A third entry breaches the budget; island 1 has the lowest
+    // tick (0 was refreshed by the hit above) and must be evicted.
+    cache.insert(1, 2, {11, 12, 13, 14, 15});
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.lookup(1, 0, 5, buf));
+    EXPECT_FALSE(cache.lookup(1, 1, 5, buf));
+    EXPECT_TRUE(cache.lookup(1, 2, 5, buf));
+    EXPECT_LE(cache.stats().bytes, cfg.maxBytes);
+}
+
+TEST(ServingAggCache, AdvanceRemapsByProvenanceAndGapClears)
+{
+    AggCache cache({.enabled = true, .maxBytes = 1 << 20});
+    cache.advance(3, false, 0, {});
+    cache.insert(3, 0, {1, 1});
+    cache.insert(3, 1, {2, 2});
+    cache.insert(3, 2, {3, 3});
+
+    // Epoch 4: new island 0 inherits old 2, new island 1 is fresh
+    // (dirty), new island 2 inherits old 0. Old 1 is orphaned.
+    const uint32_t remap[] = {2, AggCache::kNoParent, 0};
+    cache.advance(4, true, 3, remap);
+    float buf[2];
+    ASSERT_TRUE(cache.lookup(4, 0, 2, buf));
+    EXPECT_EQ(buf[0], 3.0f);
+    EXPECT_FALSE(cache.lookup(4, 1, 2, buf));
+    ASSERT_TRUE(cache.lookup(4, 2, 2, buf));
+    EXPECT_EQ(buf[0], 1.0f);
+    EXPECT_EQ(cache.stats().invalidated, 1u); // old island 1
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // Same-epoch advance is a no-op.
+    cache.advance(4, true, 3, remap);
+    EXPECT_TRUE(cache.lookup(4, 0, 2, buf));
+
+    // Lineage gap (parent is not the cached epoch): full clear.
+    cache.advance(9, true, 7, remap);
+    EXPECT_FALSE(cache.lookup(9, 0, 2, buf));
+    EXPECT_EQ(cache.stats().clears, 1u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+
+    // reset(): fresh lifetime, counters zeroed.
+    cache.insert(9, 0, {5, 5});
+    cache.reset();
+    EXPECT_EQ(cache.stats().fills, 0u);
+    EXPECT_FALSE(cache.lookup(9, 0, 2, buf));
 }
 
 TEST(ServingReplay, UpdatesTakeEffectAndMatchFinalReference)
@@ -590,43 +777,43 @@ batchIds(RequestQueue &queue, const SchedulerConfig &cfg)
     return out;
 }
 
-TEST(ServingScheduler, FcfsMicroBatchingRules)
+TEST(ServingScheduler, FcfsContinuousBatchingRules)
 {
     SchedulerConfig cfg;
     cfg.maxBatch = 8;
-    cfg.maxWaitUs = 100;
 
     RequestQueue q;
-    // Two arrivals inside one deadline window; a gap; a lone request;
-    // an update; a trailing inference request.
+    // A burst at t=0; two same-instant arrivals later; an update; a
+    // trailing inference request.
     q.push(req(0, 0, RequestKind::Inference));
-    q.push(req(1, 10, RequestKind::Inference));
+    q.push(req(1, 0, RequestKind::Inference));
     q.push(req(2, 500, RequestKind::Inference));
-    q.push(req(3, 520, RequestKind::Update));
-    q.push(req(4, 530, RequestKind::Inference));
+    q.push(req(3, 500, RequestKind::Inference));
+    q.push(req(4, 520, RequestKind::Update));
+    q.push(req(5, 530, RequestKind::Inference));
     q.close();
 
     auto batches = batchIds(q, cfg);
     ASSERT_EQ(batches.size(), 4u);
+    // Everything already arrived at the dispatch instant joins; a
+    // later arrival (or the update's kind boundary) never does.
     EXPECT_EQ(batches[0], (std::vector<uint64_t>{0, 1}));
-    // The update at 520 closes request 2's batch even though 530 is
-    // within its deadline window.
-    EXPECT_EQ(batches[1], (std::vector<uint64_t>{2}));
-    EXPECT_EQ(batches[2], (std::vector<uint64_t>{3}));
-    EXPECT_EQ(batches[3], (std::vector<uint64_t>{4}));
+    EXPECT_EQ(batches[1], (std::vector<uint64_t>{2, 3}));
+    EXPECT_EQ(batches[2], (std::vector<uint64_t>{4}));
+    EXPECT_EQ(batches[3], (std::vector<uint64_t>{5}));
 }
 
-TEST(ServingScheduler, PartialBatchDispatchesWhenClosingHeadArrived)
+TEST(ServingScheduler, DispatchesAtEngineFreeInstantWithoutStragglerWait)
 {
     SchedulerConfig cfg;
     cfg.maxBatch = 8;
-    cfg.maxWaitUs = 100;
+    cfg.maxWaitUs = 100; // deprecated: must have no effect
 
     RequestQueue q;
-    q.push(req(0, 0, RequestKind::Inference));   // waits out deadline
-    q.push(req(1, 500, RequestKind::Inference)); // closed by update
+    q.push(req(0, 0, RequestKind::Inference));
+    q.push(req(1, 500, RequestKind::Inference));
     q.push(req(2, 520, RequestKind::Update));
-    q.push(req(3, 530, RequestKind::Inference)); // end of stream
+    q.push(req(3, 530, RequestKind::Inference));
     q.close();
 
     Scheduler sched(q, cfg, /*real_time=*/false);
@@ -638,22 +825,57 @@ TEST(ServingScheduler, PartialBatchDispatchesWhenClosingHeadArrived)
         busy = b.formedAtUs;
     }
     ASSERT_EQ(formed.size(), 4u);
-    // {0}: next head arrives past the deadline -> full maxWaitUs.
-    EXPECT_EQ(formed[0], 100u);
-    // {1}: the update at 520 is the closing request -> dispatch then,
-    // not at the 600us deadline.
-    EXPECT_EQ(formed[1], 520u);
-    // {2} (update): closed by request 3's arrival at 530.
-    EXPECT_EQ(formed[2], 530u);
-    // {3}: queue closed -> dispatch at its own arrival (>= busy).
+    // Every batch leaves the moment engine and head are both ready —
+    // the legacy rule would have charged request 0 the full 100us
+    // straggler wait.
+    EXPECT_EQ(formed[0], 0u);
+    EXPECT_EQ(formed[1], 500u);
+    EXPECT_EQ(formed[2], 520u);
     EXPECT_EQ(formed[3], 530u);
+}
+
+TEST(ServingScheduler, AdmitsBacklogAtBusyHorizon)
+{
+    // The bugfix pin: requests arriving while the engine is busy are
+    // admitted into the batch formed at the busy horizon (continuous
+    // batching), instead of waiting out a drain + straggler window.
+    SchedulerConfig cfg;
+    cfg.maxBatch = 8;
+
+    RequestQueue q;
+    q.push(req(0, 0, RequestKind::Inference));
+    q.push(req(1, 20, RequestKind::Inference));  // arrives mid-service
+    q.push(req(2, 50, RequestKind::Inference));  // arrives mid-service
+    q.push(req(3, 120, RequestKind::Inference)); // arrives after free
+    q.close();
+
+    Scheduler sched(q, cfg, /*real_time=*/false);
+    std::vector<std::vector<uint64_t>> batches;
+    std::vector<uint64_t> formed;
+    MicroBatch b;
+    uint64_t busy = 0;
+    while (sched.next(busy, b)) {
+        std::vector<uint64_t> ids;
+        for (const Request &r : b.requests)
+            ids.push_back(r.id);
+        batches.push_back(std::move(ids));
+        formed.push_back(b.formedAtUs);
+        busy = b.formedAtUs + 100; // 100us service per batch
+    }
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0], (std::vector<uint64_t>{0}));
+    // 1 and 2 arrived during batch 0's service: both board at the
+    // t=100 busy horizon; 3 (not yet arrived) does not.
+    EXPECT_EQ(batches[1], (std::vector<uint64_t>{1, 2}));
+    EXPECT_EQ(formed[1], 100u);
+    EXPECT_EQ(batches[2], (std::vector<uint64_t>{3}));
+    EXPECT_EQ(formed[2], 200u);
 }
 
 TEST(ServingScheduler, BatchCapOneYieldsSingletons)
 {
     SchedulerConfig cfg;
     cfg.maxBatch = 1;
-    cfg.maxWaitUs = 1000;
     RequestQueue q;
     for (uint64_t i = 0; i < 5; ++i)
         q.push(req(i, i, RequestKind::Inference));
@@ -668,18 +890,140 @@ TEST(ServingScheduler, ConsecutiveUpdatesCoalesce)
 {
     SchedulerConfig cfg;
     cfg.maxBatch = 8;
-    cfg.maxWaitUs = 100;
     cfg.maxUpdateCoalesce = 2;
     RequestQueue q;
     q.push(req(0, 0, RequestKind::Update));
-    q.push(req(1, 5, RequestKind::Update));
-    q.push(req(2, 10, RequestKind::Update));
+    q.push(req(1, 0, RequestKind::Update));
+    q.push(req(2, 0, RequestKind::Update));
     q.close();
     auto batches = batchIds(q, cfg);
     // Cap 2: first application coalesces {0, 1}, then {2}.
     ASSERT_EQ(batches.size(), 2u);
     EXPECT_EQ(batches[0], (std::vector<uint64_t>{0, 1}));
     EXPECT_EQ(batches[1], (std::vector<uint64_t>{2}));
+}
+
+/**
+ * In-test model of the legacy drain-then-admit rule: same-kind
+ * requests with arrival <= start + maxWaitUs joined (a straggler
+ * window), and a partial batch's dispatch time was the closing
+ * request's arrival or the full deadline. Kept here, not in the
+ * scheduler, as the differential baseline.
+ */
+struct ModelBatch
+{
+    RequestKind kind;
+    std::vector<uint64_t> ids;
+    uint64_t formedAtUs = 0;
+
+    bool operator==(const ModelBatch &) const = default;
+};
+
+std::vector<ModelBatch>
+legacyRuleBatches(std::deque<Request> q, const SchedulerConfig &cfg)
+{
+    std::vector<ModelBatch> out;
+    uint64_t busy = 0;
+    while (!q.empty()) {
+        Request first = std::move(q.front());
+        q.pop_front();
+        const uint64_t start = std::max(busy, first.arrivalUs);
+        const uint64_t deadline = start + cfg.maxWaitUs;
+        const uint32_t cap = first.kind == RequestKind::Inference
+            ? std::max<uint32_t>(1, cfg.maxBatch)
+            : std::max<uint32_t>(1, cfg.maxUpdateCoalesce);
+        ModelBatch b{first.kind, {first.id}, 0};
+        uint64_t last_arrival = first.arrivalUs;
+        while (b.ids.size() < cap && !q.empty() &&
+               q.front().kind == first.kind &&
+               q.front().arrivalUs <= deadline) {
+            last_arrival = q.front().arrivalUs;
+            b.ids.push_back(q.front().id);
+            q.pop_front();
+        }
+        if (b.ids.size() == cap || q.empty())
+            b.formedAtUs = std::max(start, last_arrival);
+        else
+            b.formedAtUs =
+                std::max(start, std::min(deadline,
+                                         q.front().arrivalUs));
+        busy = b.formedAtUs; // zero service time, like batchIds
+        out.push_back(std::move(b));
+    }
+    return out;
+}
+
+std::vector<ModelBatch>
+newRuleBatches(const std::vector<Request> &reqs,
+               const SchedulerConfig &cfg)
+{
+    RequestQueue q;
+    for (const Request &r : reqs)
+        q.push(r);
+    q.close();
+    Scheduler sched(q, cfg, /*real_time=*/false);
+    std::vector<ModelBatch> out;
+    MicroBatch b;
+    uint64_t busy = 0;
+    while (sched.next(busy, b)) {
+        ModelBatch m{b.kind, {}, b.formedAtUs};
+        for (const Request &r : b.requests)
+            m.ids.push_back(r.id);
+        busy = b.formedAtUs;
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+TEST(ServingScheduler, DifferentialAgainstLegacyRuleOnCoincidenceTrace)
+{
+    // Coincidence class: every request has arrived by the time its
+    // batch can start (saturated burst), so the straggler window
+    // never admits anything the new rule would not, and every legacy
+    // dispatch-time case degenerates to `start`. On such traces the
+    // two rules must replay byte-identically — batch composition AND
+    // dispatch times.
+    SchedulerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.maxUpdateCoalesce = 2;
+    cfg.maxWaitUs = 100;
+
+    std::vector<Request> burst;
+    uint64_t id = 0;
+    // Mixed-kind runs, all arriving at t=0: kind boundaries, cap
+    // splits, and a coalesced tail all exercise in one trace.
+    for (RequestKind k :
+         {RequestKind::Inference, RequestKind::Inference,
+          RequestKind::Inference, RequestKind::Inference,
+          RequestKind::Update, RequestKind::Update,
+          RequestKind::Update, RequestKind::Inference,
+          RequestKind::Update, RequestKind::Inference,
+          RequestKind::Inference})
+        burst.push_back(req(id++, 0, k));
+
+    const auto legacy = legacyRuleBatches(
+        {burst.begin(), burst.end()}, cfg);
+    const auto current = newRuleBatches(burst, cfg);
+    EXPECT_EQ(legacy, current);
+
+    // Divergence pin: one straggler inside the legacy window. The
+    // old rule stalls the t=0 head until the straggler boards at
+    // t=40 (and taxes a lone tail with the full window); the new
+    // rule dispatches at t=0 and serves the straggler next.
+    std::vector<Request> straggler;
+    straggler.push_back(req(0, 0, RequestKind::Inference));
+    straggler.push_back(req(1, 40, RequestKind::Inference));
+    const auto legacy2 = legacyRuleBatches(
+        {straggler.begin(), straggler.end()}, cfg);
+    const auto current2 = newRuleBatches(straggler, cfg);
+    ASSERT_EQ(legacy2.size(), 1u);
+    EXPECT_EQ(legacy2[0].ids, (std::vector<uint64_t>{0, 1}));
+    EXPECT_EQ(legacy2[0].formedAtUs, 40u);
+    ASSERT_EQ(current2.size(), 2u);
+    EXPECT_EQ(current2[0].ids, (std::vector<uint64_t>{0}));
+    EXPECT_EQ(current2[0].formedAtUs, 0u);
+    EXPECT_EQ(current2[1].ids, (std::vector<uint64_t>{1}));
+    EXPECT_EQ(current2[1].formedAtUs, 40u);
 }
 
 // --------------------------------------------------- stats unit tests
@@ -732,6 +1076,56 @@ TEST(ServingStats, HistogramPercentilesWithinOneBucketOfExact)
     ASSERT_EQ(stats.batchSizeHistogram().size(), 1u);
     EXPECT_EQ(stats.batchSizeHistogram().at(50), 2u);
     EXPECT_DOUBLE_EQ(stats.meanBatchSize(), 50.0);
+}
+
+TEST(ServingStats, ResetMidRunKeepsCachedMetricPointersValid)
+{
+    // Regression pin for the reset-by-move hazard: ServerStats caches
+    // raw metric pointers into its registry at construction; the old
+    // `stats = ServerStats{}` reset destroyed the registry those
+    // pointers targeted while the moved-into object kept using them
+    // (a use-after-free ASan catches in the sanitizer job). reset()
+    // must zero values in place: recording across a mid-run reset
+    // stays valid, registration survives, and pointers taken before
+    // the reset still resolve.
+    ServerStats stats;
+    const obs::Histogram *lat_before = stats.registry().findHistogram(
+        "igcn_serve_inference_latency_us", {});
+    ASSERT_NE(lat_before, nullptr);
+
+    BatchExecInfo info;
+    info.targets = 3;
+    stats.recordInferenceBatch(info);
+    for (int i = 0; i < 3; ++i) {
+        InferenceResult r;
+        r.arrivalUs = 0;
+        r.doneUs = 10;
+        stats.recordInference(r);
+    }
+    Rejection rej;
+    rej.id = 7;
+    rej.error = ServeError::Overloaded;
+    stats.recordRejection(rej);
+    ASSERT_EQ(stats.inferenceLatency().count, 3u);
+    ASSERT_EQ(stats.overloadedRequests(), 1u);
+
+    stats.reset(); // mid-run: recording continues afterwards
+
+    EXPECT_EQ(stats.inferenceLatency().count, 0u);
+    EXPECT_EQ(stats.overloadedRequests(), 0u);
+    EXPECT_EQ(stats.inferenceBatches(), 0u);
+    // Same registry, same registration, same pointers.
+    EXPECT_EQ(stats.registry().findHistogram(
+                  "igcn_serve_inference_latency_us", {}),
+              lat_before);
+
+    InferenceResult r;
+    r.arrivalUs = 5;
+    r.doneUs = 25;
+    stats.recordInference(r); // writes through the cached pointers
+    EXPECT_EQ(stats.inferenceLatency().count, 1u);
+    EXPECT_EQ(stats.inferenceLatency().maxUs, 20u);
+    EXPECT_EQ(lat_before->count(), 1u);
 }
 
 TEST(ServingTrace, DeterministicAndWellFormed)

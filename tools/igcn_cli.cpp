@@ -72,6 +72,11 @@ usage()
         "            [--feature-density D] [--sparse-x]\n"
         "            [--pattern poisson|burst|diurnal]\n"
         "            [--zipf-alpha A] [--tenants T]\n"
+        "            [--agg-cache]         epoch-keyed island-\n"
+        "              aggregation cache (bit-identical results;\n"
+        "              cache hits skip the layer-1 edge sweep)\n"
+        "            [--agg-cache-mb N]    cache byte budget (LRU\n"
+        "              eviction; default 64)\n"
         "            SLO mode (enables admission control + EDF):\n"
         "            [--qps-budget Q] [--queue-cap N]\n"
         "            [--staleness K] [--deadline-us D]\n"
@@ -351,6 +356,11 @@ cmdServe(const Args &args)
         static_cast<uint64_t>(args.getInt("max-wait-us", 200));
     sc.locator.maxIslandSize = static_cast<NodeId>(
         args.getInt("cmax", sc.locator.maxIslandSize));
+    sc.aggCache.enabled =
+        args.has("agg-cache") || args.has("agg-cache-mb");
+    sc.aggCache.maxBytes = static_cast<size_t>(
+                               args.getInt("agg-cache-mb", 64))
+        << 20;
     // Any SLO knob switches the replay from FCFS to the admission-
     // controlled EDF path.
     if (args.has("qps-budget") || args.has("queue-cap") ||
